@@ -1,0 +1,28 @@
+//! Single-binary aggregation of every criterion bench in this crate.
+//!
+//! Each sibling file remains a standalone `[[bench]]`-able module, but on
+//! slow single-core machines linking six criterion binaries dominates the
+//! wall clock — this target compiles them once. `cargo bench --bench
+//! all_benches` runs everything.
+
+#[path = "matmul.rs"]
+mod matmul_benches;
+#[path = "augment.rs"]
+mod augment_benches;
+#[path = "attention.rs"]
+mod attention_benches;
+#[path = "ntxent.rs"]
+mod ntxent_benches;
+#[path = "ranking.rs"]
+mod ranking_benches;
+#[path = "batching.rs"]
+mod batching_benches;
+
+criterion::criterion_main!(
+    matmul_benches::benches,
+    augment_benches::benches,
+    attention_benches::benches,
+    ntxent_benches::benches,
+    ranking_benches::benches,
+    batching_benches::benches
+);

@@ -1,0 +1,58 @@
+//! Cost of the Transformer encoder: forward only (inference/scoring) vs
+//! forward + backward (one training step) at the paper's sequence length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqrec_data::batch::pad_left;
+use seqrec_models::encoder::{EncoderConfig, TransformerEncoder};
+use seqrec_tensor::init::rng;
+use seqrec_tensor::nn::Step;
+use std::hint::black_box;
+
+fn make_batch(b: usize, t: usize, num_items: usize) -> (Vec<u32>, Vec<Vec<bool>>) {
+    let mut ids = Vec::with_capacity(b * t);
+    let mut valid = Vec::with_capacity(b);
+    for u in 0..b {
+        let seq: Vec<u32> = (0..10 + u % 20)
+            .map(|i| ((u * 7 + i * 3) % num_items) as u32 + 1)
+            .collect();
+        let (i, v) = pad_left(&seq, t);
+        ids.extend(i);
+        valid.push(v);
+    }
+    (ids, valid)
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let cfg = EncoderConfig { num_items: 1000, d: 64, heads: 2, layers: 2, max_len: 50, dropout: 0.2 };
+    let mut r = rng(1);
+    let enc = TransformerEncoder::new(cfg, &mut r);
+
+    let mut group = c.benchmark_group("encoder");
+    group.sample_size(10);
+    for &b in &[32usize, 128] {
+        let (ids, valid) = make_batch(b, 50, 1000);
+        group.bench_with_input(BenchmarkId::new("forward", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut step = Step::new();
+                let mut r2 = rng(0);
+                let out = enc.user_repr(&mut step, black_box(&ids), &valid, false, &mut r2);
+                black_box(step.tape.value(out).at(0));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("forward_backward", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut step = Step::new();
+                let mut r2 = rng(0);
+                let out = enc.user_repr(&mut step, black_box(&ids), &valid, true, &mut r2);
+                let sq = step.tape.mul(out, out);
+                let loss = step.tape.sum_all(sq);
+                let grads = step.tape.backward(loss);
+                black_box(grads.get(out).is_some());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Throughput of the three augmentation operators and of producing the
+//! two-view positive pair — the per-batch preprocessing cost of
+//! contrastive pre-training.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl4srec::augment::{Augmentation, AugmentationSet, Crop, Mask, Reorder};
+use seqrec_tensor::init::rng;
+use std::hint::black_box;
+
+fn bench_augment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("augment");
+    let seq: Vec<u32> = (1..=50).collect();
+    let ops: Vec<(&str, Box<dyn Augmentation>)> = vec![
+        ("crop", Box::new(Crop { eta: 0.6 })),
+        ("mask", Box::new(Mask { gamma: 0.5, mask_token: 99 })),
+        ("reorder", Box::new(Reorder { beta: 0.5 })),
+    ];
+    for (name, op) in &ops {
+        group.bench_with_input(BenchmarkId::new("op", name), name, |bench, _| {
+            let mut r = rng(1);
+            bench.iter(|| op.apply(black_box(&seq), &mut r));
+        });
+    }
+    group.bench_function("two_views_full_set", |bench| {
+        let set = AugmentationSet::paper_full(0.6, 0.5, 0.5, 99);
+        let mut r = rng(2);
+        bench.iter(|| set.two_views(black_box(&seq), &mut r));
+    });
+    group.bench_function("two_views_batch256", |bench| {
+        let set = AugmentationSet::paper_full(0.6, 0.5, 0.5, 99);
+        let mut r = rng(3);
+        bench.iter(|| {
+            for _ in 0..256 {
+                black_box(set.two_views(black_box(&seq), &mut r));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_augment);
+criterion_main!(benches);

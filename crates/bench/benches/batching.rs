@@ -1,0 +1,46 @@
+//! Batching-pipeline cost: left-padding, negative sampling and assembling a
+//! full next-item training batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seqrec_data::batch::{epoch_batches, next_item_batch, pad_left, NegativeSampler};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn bench_batching(c: &mut Criterion) {
+    let seqs: Vec<Vec<u32>> = (0..256)
+        .map(|u| (0..12).map(|i| ((u * 13 + i * 7) % 5000) as u32 + 1).collect())
+        .collect();
+    let seq_refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
+
+    let mut group = c.benchmark_group("batching");
+    group.bench_function("pad_left_256x50", |bench| {
+        bench.iter(|| {
+            for s in &seq_refs {
+                black_box(pad_left(black_box(s), 50));
+            }
+        });
+    });
+    group.bench_function("negative_sample_2560", |bench| {
+        let mut sampler = NegativeSampler::new(5000, 1);
+        let exclude: HashSet<u32> = (1..13).collect();
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..2560 {
+                acc += u64::from(sampler.sample(black_box(&exclude)));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("next_item_batch_256x50", |bench| {
+        let mut sampler = NegativeSampler::new(5000, 2);
+        bench.iter(|| black_box(next_item_batch(black_box(&seq_refs), 50, &mut sampler)));
+    });
+    group.bench_function("epoch_shuffle_25k_users", |bench| {
+        let users: Vec<usize> = (0..25_000).collect();
+        bench.iter(|| black_box(epoch_batches(black_box(&users), 256, 7)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation bench: blocked/axpy matmul kernels vs the naive triple loop
+//! (DESIGN.md "key design decisions"). Also covers the transposed kernels
+//! used by the backward passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqrec_tensor::init::{rng, uniform};
+use seqrec_tensor::linalg;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for &n in &[32usize, 128, 256] {
+        let mut r = rng(1);
+        let a = uniform([n, n], -1.0, 1.0, &mut r);
+        let b = uniform([n, n], -1.0, 1.0, &mut r);
+        group.bench_with_input(BenchmarkId::new("blocked_nn", n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul_nn(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul_naive(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul_nt(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul_tn(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bmm_attention_shape");
+    group.sample_size(20);
+    // the attention score shape: [B*h, T, dh] x [B*h, T, dh]^T
+    let mut r = rng(2);
+    let q = uniform([64, 50, 32], -1.0, 1.0, &mut r);
+    let k = uniform([64, 50, 32], -1.0, 1.0, &mut r);
+    group.bench_function("bmm_nt_64x50x32", |bench| {
+        bench.iter(|| linalg::bmm_nt(black_box(&q), black_box(&k)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation bench: the NT-Xent loss via one `2N×2N` similarity matmul +
+//! fused cross-entropy (the library implementation) against a per-pair
+//! reference that computes each similarity row independently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl4srec::ntxent::nt_xent;
+use seqrec_tensor::init::{rng, uniform};
+use seqrec_tensor::nn::Step;
+use seqrec_tensor::Tensor;
+use std::hint::black_box;
+
+/// Reference implementation: explicit loops, forward value only.
+fn nt_xent_naive(z1: &Tensor, z2: &Tensor, tau: f32) -> f32 {
+    let n = z1.shape().dim(0);
+    let d = z1.shape().dim(1);
+    let row = |i: usize| -> &[f32] {
+        if i < n {
+            &z1.data()[i * d..(i + 1) * d]
+        } else {
+            &z2.data()[(i - n) * d..(i - n + 1) * d]
+        }
+    };
+    let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let cos = |a: &[f32], b: &[f32]| {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        dot / (norm(a) * norm(b))
+    };
+    let mut total = 0.0f64;
+    for i in 0..2 * n {
+        let pos = if i < n { i + n } else { i - n };
+        let mut denom = 0.0f64;
+        let mut pos_term = 0.0f64;
+        for j in 0..2 * n {
+            if j == i {
+                continue;
+            }
+            let e = ((cos(row(i), row(j)) / tau) as f64).exp();
+            denom += e;
+            if j == pos {
+                pos_term = e;
+            }
+        }
+        total += -(pos_term / denom).ln();
+    }
+    (total / (2 * n) as f64) as f32
+}
+
+fn bench_ntxent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nt_xent");
+    group.sample_size(20);
+    for &n in &[64usize, 256] {
+        let mut r = rng(1);
+        let z1 = uniform([n, 64], -1.0, 1.0, &mut r);
+        let z2 = uniform([n, 64], -1.0, 1.0, &mut r);
+        group.bench_with_input(BenchmarkId::new("matmul_fused_fwd_bwd", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut step = Step::new();
+                let a = step.tape.leaf(z1.clone());
+                let b = step.tape.leaf(z2.clone());
+                let l = nt_xent(&mut step, a, b, 0.5);
+                let grads = step.tape.backward(l);
+                black_box(grads.get(a).is_some());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive_pairwise_fwd_only", n), &n, |bench, _| {
+            bench.iter(|| black_box(nt_xent_naive(&z1, &z2, 0.5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntxent);
+criterion_main!(benches);

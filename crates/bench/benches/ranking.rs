@@ -1,0 +1,38 @@
+//! Full-catalog evaluation cost: scoring a user batch against every item
+//! (one `users×d · d×V` matmul) and computing target ranks — the paper's
+//! no-sampled-metrics protocol (§4.1.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqrec_eval::rank_of_target;
+use seqrec_tensor::init::{rng, uniform};
+use seqrec_tensor::linalg;
+use std::hint::black_box;
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking");
+    group.sample_size(20);
+    for &v in &[1_000usize, 12_000] {
+        let mut r = rng(1);
+        let reprs = uniform([256, 64], -1.0, 1.0, &mut r);
+        let table = uniform([v + 1, 64], -1.0, 1.0, &mut r);
+        group.bench_with_input(BenchmarkId::new("score_256_users", v), &v, |bench, _| {
+            bench.iter(|| linalg::matmul_nt(black_box(&reprs), black_box(&table)));
+        });
+
+        let scores = linalg::matmul_nt(&reprs, &table);
+        let exclude: Vec<u32> = (1..30).collect();
+        group.bench_with_input(BenchmarkId::new("rank_256_targets", v), &v, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0usize;
+                for row in scores.data().chunks(v + 1) {
+                    acc += rank_of_target(black_box(row), 42, &exclude);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! # seqrec-bench
+//!
+//! Experiment harness for the CL4SRec reproduction: shared runners and
+//! argument parsing used by the experiment binaries in the
+//! `seqrec-experiments` crate (`table1`, `table2`, `table2x`, `fig4`,
+//! `fig5`, `fig6`, `ablation`), plus criterion micro-benchmarks under
+//! `benches/` (aggregated into the `all_benches` target for slow machines).
+//!
+//! Every binary accepts `--scale`, `--epochs`, `--pretrain-epochs`,
+//! `--seed`, `--datasets` and `--out` so the experiments can be run closer
+//! to paper scale (`--scale 1.0`) on a big machine or at laptop scale (the
+//! defaults). Results are printed as markdown and written as JSON for
+//! provenance (EXPERIMENTS.md records both).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod runners;
+
+pub use args::ExpArgs;
+pub use runners::{prepare, Prepared};

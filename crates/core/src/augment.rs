@@ -1,0 +1,312 @@
+//! The paper's three stochastic data-augmentation operators (§3.3).
+//!
+//! Each operator maps a user's interaction sequence to a correlated view
+//! while preserving the user's main preference:
+//!
+//! * [`Crop`] (Eq. 4) — a random contiguous sub-sequence of length
+//!   `⌊η·n⌋`: a *local view* of the history.
+//! * [`Mask`] (Eq. 5) — a random `⌊γ·n⌋`-subset of positions replaced by the
+//!   `[mask]` token: "item dropout".
+//! * [`Reorder`] (Eq. 6) — a random contiguous window of length `⌊β·n⌋`
+//!   shuffled in place: relaxes the strict-order assumption.
+//!
+//! [`AugmentationSet`] holds the set `𝒜`; each training example samples two
+//! operators (with replacement) and applies them independently, producing
+//! the positive pair of Figure 1.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use seqrec_tensor::init::TensorRng;
+
+/// A stochastic sequence transformation.
+pub trait Augmentation: Send + Sync {
+    /// Applies the operator to `seq`. The result is never empty for a
+    /// non-empty input.
+    fn apply(&self, seq: &[u32], rng: &mut TensorRng) -> Vec<u32>;
+    /// Short operator label ("crop", "mask", "reorder").
+    fn name(&self) -> &'static str;
+}
+
+/// Item crop (Eq. 4): keep a random contiguous sub-sequence of length
+/// `max(1, ⌊η·n⌋)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Crop {
+    /// Kept fraction η ∈ (0, 1]. Small η = strong augmentation.
+    pub eta: f64,
+}
+
+impl Augmentation for Crop {
+    fn apply(&self, seq: &[u32], rng: &mut TensorRng) -> Vec<u32> {
+        assert!((0.0..=1.0).contains(&self.eta), "eta {} outside [0,1]", self.eta);
+        if seq.is_empty() {
+            return Vec::new();
+        }
+        let n = seq.len();
+        let len = ((self.eta * n as f64).floor() as usize).clamp(1, n);
+        let start = rng.gen_range(0..=n - len);
+        seq[start..start + len].to_vec()
+    }
+    fn name(&self) -> &'static str {
+        "crop"
+    }
+}
+
+/// Item mask (Eq. 5): replace a random `⌊γ·n⌋`-subset of positions with the
+/// `[mask]` token.
+#[derive(Clone, Copy, Debug)]
+pub struct Mask {
+    /// Masked fraction γ ∈ [0, 1]. Large γ = strong augmentation.
+    pub gamma: f64,
+    /// The `[mask]` token id (`num_items + 1` in this workspace).
+    pub mask_token: u32,
+}
+
+impl Augmentation for Mask {
+    fn apply(&self, seq: &[u32], rng: &mut TensorRng) -> Vec<u32> {
+        assert!((0.0..=1.0).contains(&self.gamma), "gamma {} outside [0,1]", self.gamma);
+        let n = seq.len();
+        let m = (self.gamma * n as f64).floor() as usize;
+        let mut out = seq.to_vec();
+        let mut positions: Vec<usize> = (0..n).collect();
+        positions.shuffle(rng);
+        for &p in positions.iter().take(m) {
+            out[p] = self.mask_token;
+        }
+        out
+    }
+    fn name(&self) -> &'static str {
+        "mask"
+    }
+}
+
+/// Item reorder (Eq. 6): shuffle a random contiguous window of length
+/// `⌊β·n⌋`.
+#[derive(Clone, Copy, Debug)]
+pub struct Reorder {
+    /// Reordered fraction β ∈ [0, 1]. Large β = strong augmentation.
+    pub beta: f64,
+}
+
+impl Augmentation for Reorder {
+    fn apply(&self, seq: &[u32], rng: &mut TensorRng) -> Vec<u32> {
+        assert!((0.0..=1.0).contains(&self.beta), "beta {} outside [0,1]", self.beta);
+        let n = seq.len();
+        let len = (self.beta * n as f64).floor() as usize;
+        let mut out = seq.to_vec();
+        if len < 2 {
+            return out; // nothing to permute
+        }
+        let start = rng.gen_range(0..=n - len);
+        out[start..start + len].shuffle(rng);
+        out
+    }
+    fn name(&self) -> &'static str {
+        "reorder"
+    }
+}
+
+/// The identity transformation — useful as an ablation control.
+#[derive(Clone, Copy, Debug)]
+pub struct Identity;
+
+impl Augmentation for Identity {
+    fn apply(&self, seq: &[u32], _rng: &mut TensorRng) -> Vec<u32> {
+        seq.to_vec()
+    }
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+/// The augmentation set `𝒜`: two members are sampled per training example.
+pub struct AugmentationSet {
+    augs: Vec<Box<dyn Augmentation>>,
+}
+
+impl AugmentationSet {
+    /// Builds a set from boxed operators.
+    ///
+    /// # Panics
+    /// Panics on an empty set.
+    pub fn new(augs: Vec<Box<dyn Augmentation>>) -> Self {
+        assert!(!augs.is_empty(), "augmentation set must not be empty");
+        AugmentationSet { augs }
+    }
+
+    /// A single-operator set (the RQ2 setting: both views use the same
+    /// operator, applied independently).
+    pub fn single(aug: impl Augmentation + 'static) -> Self {
+        Self::new(vec![Box::new(aug)])
+    }
+
+    /// A two-operator set (the RQ3 composition setting).
+    pub fn pair(a: impl Augmentation + 'static, b: impl Augmentation + 'static) -> Self {
+        Self::new(vec![Box::new(a), Box::new(b)])
+    }
+
+    /// The paper's full set with the given rates: crop(η), mask(γ),
+    /// reorder(β).
+    pub fn paper_full(eta: f64, gamma: f64, beta: f64, mask_token: u32) -> Self {
+        Self::new(vec![
+            Box::new(Crop { eta }),
+            Box::new(Mask { gamma, mask_token }),
+            Box::new(Reorder { beta }),
+        ])
+    }
+
+    /// Number of operators in the set.
+    pub fn len(&self) -> usize {
+        self.augs.len()
+    }
+
+    /// True when the set is empty (never — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.augs.is_empty()
+    }
+
+    /// Operator names, for logging.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.augs.iter().map(|a| a.name()).collect()
+    }
+
+    /// Samples two operators (uniformly, with replacement) and produces the
+    /// two correlated views of `seq` (§3.2.1).
+    pub fn two_views(&self, seq: &[u32], rng: &mut TensorRng) -> (Vec<u32>, Vec<u32>) {
+        let i = rng.gen_range(0..self.augs.len());
+        let j = rng.gen_range(0..self.augs.len());
+        (self.augs[i].apply(seq, rng), self.augs[j].apply(seq, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqrec_tensor::init::rng;
+
+    const SEQ: &[u32] = &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+
+    #[test]
+    fn crop_keeps_a_contiguous_fraction() {
+        let mut r = rng(1);
+        let crop = Crop { eta: 0.5 };
+        for _ in 0..50 {
+            let out = crop.apply(SEQ, &mut r);
+            assert_eq!(out.len(), 5);
+            // contiguity: members are consecutive in the original
+            let start = out[0] as usize - 1;
+            assert_eq!(out, SEQ[start..start + 5].to_vec());
+        }
+    }
+
+    #[test]
+    fn crop_never_empties_a_sequence() {
+        let mut r = rng(2);
+        let crop = Crop { eta: 0.01 };
+        assert_eq!(crop.apply(SEQ, &mut r).len(), 1);
+        assert_eq!(crop.apply(&[7], &mut r), vec![7]);
+        assert!(crop.apply(&[], &mut r).is_empty());
+    }
+
+    #[test]
+    fn crop_start_positions_cover_the_range() {
+        let mut r = rng(3);
+        let crop = Crop { eta: 0.3 };
+        let mut starts = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let out = crop.apply(SEQ, &mut r);
+            starts.insert(out[0]);
+        }
+        assert!(starts.len() > 4, "crop start not random: {starts:?}");
+    }
+
+    #[test]
+    fn mask_replaces_exactly_the_fraction() {
+        let mut r = rng(4);
+        let mask = Mask { gamma: 0.3, mask_token: 99 };
+        for _ in 0..50 {
+            let out = mask.apply(SEQ, &mut r);
+            assert_eq!(out.len(), SEQ.len());
+            let masked = out.iter().filter(|&&v| v == 99).count();
+            assert_eq!(masked, 3);
+            // unmasked positions unchanged
+            for (o, s) in out.iter().zip(SEQ) {
+                assert!(*o == 99 || o == s);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_extremes() {
+        let mut r = rng(5);
+        let none = Mask { gamma: 0.0, mask_token: 99 };
+        assert_eq!(none.apply(SEQ, &mut r), SEQ.to_vec());
+        let all = Mask { gamma: 1.0, mask_token: 99 };
+        assert!(all.apply(SEQ, &mut r).iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn reorder_is_a_permutation_of_a_window() {
+        let mut r = rng(6);
+        let reorder = Reorder { beta: 0.5 };
+        for _ in 0..50 {
+            let out = reorder.apply(SEQ, &mut r);
+            assert_eq!(out.len(), SEQ.len());
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, SEQ.to_vec(), "not a permutation");
+            // outside some window of length 5, order is untouched: count the
+            // positions that moved — they must span at most 5 consecutive.
+            let moved: Vec<usize> = out
+                .iter()
+                .zip(SEQ)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(i, _)| i)
+                .collect();
+            if let (Some(&first), Some(&last)) = (moved.first(), moved.last()) {
+                assert!(last - first < 5, "window exceeded: {moved:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_with_tiny_beta_is_identity() {
+        let mut r = rng(7);
+        let reorder = Reorder { beta: 0.1 }; // ⌊0.1·10⌋ = 1 → no-op
+        assert_eq!(reorder.apply(SEQ, &mut r), SEQ.to_vec());
+    }
+
+    #[test]
+    fn two_views_are_usually_different() {
+        let mut r = rng(8);
+        let set = AugmentationSet::paper_full(0.5, 0.5, 0.5, 99);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.names(), vec!["crop", "mask", "reorder"]);
+        let mut distinct = 0;
+        for _ in 0..50 {
+            let (a, b) = set.two_views(SEQ, &mut r);
+            assert!(!a.is_empty() && !b.is_empty());
+            distinct += usize::from(a != b);
+        }
+        assert!(distinct > 30, "views almost always identical ({distinct}/50)");
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let mut r = rng(9);
+        assert_eq!(Identity.apply(SEQ, &mut r), SEQ.to_vec());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_set_is_rejected() {
+        AugmentationSet::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn crop_rejects_bad_eta() {
+        let mut r = rng(10);
+        Crop { eta: 1.5 }.apply(SEQ, &mut r);
+    }
+}

@@ -1,0 +1,37 @@
+//! # cl4srec
+//!
+//! A faithful Rust implementation of **Contrastive Learning for Sequential
+//! Recommendation** (CL4SRec, Xie et al.; arXiv title *Contrastive
+//! Pre-training for Sequential Recommendation* / CP4Rec):
+//!
+//! * [`augment`] — the three stochastic sequence augmentations of §3.3
+//!   (item crop, item mask, item reorder) plus composition.
+//! * [`ntxent`] — the NT-Xent contrastive loss of Eq. 3 (cosine
+//!   similarity, temperature τ, in-batch negatives).
+//! * [`model`] — the two-stage pipeline: contrastive pre-training of the
+//!   Transformer user encoder with a throwaway linear projection head,
+//!   then next-item fine-tuning (Eq. 15).
+//!
+//! ```no_run
+//! use cl4srec::augment::AugmentationSet;
+//! use cl4srec::model::{Cl4sRec, Cl4sRecConfig, PretrainOptions};
+//! use seqrec_data::synthetic::{generate_dataset, SyntheticConfig};
+//! use seqrec_data::Split;
+//! use seqrec_models::TrainOptions;
+//!
+//! let dataset = generate_dataset(&SyntheticConfig::beauty(0.05));
+//! let split = Split::leave_one_out(&dataset);
+//! let mut model = Cl4sRec::new(Cl4sRecConfig::small(dataset.num_items()), 42);
+//! let augs = AugmentationSet::paper_full(0.6, 0.5, 0.5, model.mask_token());
+//! model.fit(&split, &augs, &PretrainOptions::default(), &TrainOptions::default());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod model;
+pub mod ntxent;
+
+pub use augment::{Augmentation, AugmentationSet, Crop, Identity, Mask, Reorder};
+pub use model::{Cl4sRec, Cl4sRecConfig, PretrainOptions, PretrainReport};
+pub use ntxent::nt_xent;

@@ -1,0 +1,161 @@
+//! The NT-Xent contrastive loss (Eq. 3 of the paper).
+//!
+//! Given projected representations of two augmented views per user, the
+//! loss pulls the two views of the same user together and pushes the other
+//! `2(N-1)` in-batch views away, measured by cosine similarity with
+//! temperature `τ`. Implemented as one `2N × 2N` similarity matmul followed
+//! by a fused softmax cross-entropy — the `nt_xent` criterion bench compares
+//! this against a per-pair loop.
+
+use seqrec_tensor::nn::Step;
+use seqrec_tensor::{Tensor, Var};
+
+/// Computes NT-Xent over a batch: `z1[i]` and `z2[i]` are the two views of
+/// user `i` (`[N, d]` each). Returns the scalar mean loss over all `2N`
+/// anchors.
+///
+/// # Panics
+/// Panics if the shapes differ or `tau <= 0`.
+pub fn nt_xent(step: &mut Step, z1: Var, z2: Var, tau: f32) -> Var {
+    assert!(tau > 0.0, "temperature must be positive, got {tau}");
+    let n = {
+        let (s1, s2) = (step.tape.value(z1).shape(), step.tape.value(z2).shape());
+        assert_eq!(s1, s2, "view shapes differ: {s1} vs {s2}");
+        assert_eq!(s1.rank(), 2, "views must be [N, d], got {s1}");
+        s1.dim(0)
+    };
+    assert!(n >= 2, "NT-Xent needs at least 2 users per batch for negatives");
+
+    // [2N, d] unit rows → cosine similarities via one matmul.
+    let z = step.tape.concat0(z1, z2);
+    let zn = step.tape.normalize_rows(z, 1e-12);
+    let sim = step.tape.matmul_nt(zn, zn);
+    let sim = step.tape.scale(sim, 1.0 / tau);
+
+    // Remove self-similarity from every softmax row.
+    let two_n = 2 * n;
+    let mut diag = Tensor::zeros([two_n, two_n]);
+    for i in 0..two_n {
+        diag.data_mut()[i * two_n + i] = -1e9;
+    }
+    let masked = step.tape.add_const(sim, &diag);
+
+    // Row i's positive is its other view: i+N for the first half, i-N after.
+    let targets: Vec<u32> = (0..two_n)
+        .map(|i| if i < n { (i + n) as u32 } else { (i - n) as u32 })
+        .collect();
+    let losses = step.tape.softmax_cross_entropy(masked, &targets);
+    step.tape.mean_all(losses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqrec_tensor::init::{rng, uniform};
+
+    fn loss_of(z1: Tensor, z2: Tensor, tau: f32) -> f32 {
+        let mut step = Step::new();
+        let a = step.tape.leaf(z1);
+        let b = step.tape.leaf(z2);
+        let l = nt_xent(&mut step, a, b, tau);
+        step.tape.value(l).item()
+    }
+
+    /// Orthogonal users whose two views are identical vectors: the positive
+    /// dominates, loss should be far below the uniform baseline `ln(2N-1)`.
+    #[test]
+    fn aligned_views_give_low_loss() {
+        let z = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let low = loss_of(z.clone(), z, 0.1);
+        assert!(low < 0.01, "aligned loss {low}");
+    }
+
+    #[test]
+    fn mismatched_views_give_high_loss() {
+        // each user's second view equals the OTHER user's first view
+        let z1 = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let z2 = Tensor::from_vec([2, 2], vec![0.0, 1.0, 1.0, 0.0]);
+        let high = loss_of(z1.clone(), z2, 0.1);
+        let aligned = loss_of(z1.clone(), z1, 0.1);
+        assert!(high > aligned + 1.0, "high {high} vs aligned {aligned}");
+    }
+
+    #[test]
+    fn random_views_sit_near_the_uniform_baseline() {
+        let mut r = rng(11);
+        let n = 16;
+        let z1 = uniform([n, 8], -1.0, 1.0, &mut r);
+        let z2 = uniform([n, 8], -1.0, 1.0, &mut r);
+        let l = loss_of(z1, z2, 10.0); // huge tau → similarities ≈ uniform
+        let baseline = ((2 * n - 1) as f32).ln();
+        assert!((l - baseline).abs() < 0.05, "loss {l} vs ln(2N-1) {baseline}");
+    }
+
+    #[test]
+    fn loss_is_scale_invariant_thanks_to_cosine() {
+        let mut r = rng(12);
+        let z1 = uniform([4, 6], -1.0, 1.0, &mut r);
+        let z2 = uniform([4, 6], -1.0, 1.0, &mut r);
+        let a = loss_of(z1.clone(), z2.clone(), 0.5);
+        let b = loss_of(z1.scale(7.0), z2.scale(0.1), 0.5);
+        assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+
+    #[test]
+    fn gradient_pulls_views_together() {
+        // One optimisation step on z1 must increase cos(z1[i], z2[i]).
+        let mut r = rng(13);
+        let z1 = uniform([4, 6], -0.5, 0.5, &mut r);
+        let z2 = uniform([4, 6], -0.5, 0.5, &mut r);
+        let cos = |a: &Tensor, b: &Tensor| -> f32 {
+            let mut total = 0.0;
+            for i in 0..4 {
+                let ra = &a.data()[i * 6..(i + 1) * 6];
+                let rb = &b.data()[i * 6..(i + 1) * 6];
+                let dot: f32 = ra.iter().zip(rb).map(|(x, y)| x * y).sum();
+                let na: f32 = ra.iter().map(|x| x * x).sum::<f32>().sqrt();
+                let nb: f32 = rb.iter().map(|x| x * x).sum::<f32>().sqrt();
+                total += dot / (na * nb);
+            }
+            total / 4.0
+        };
+        let before = cos(&z1, &z2);
+
+        let mut step = Step::new();
+        let a = step.tape.leaf(z1.clone());
+        let b = step.tape.leaf(z2.clone());
+        let l = nt_xent(&mut step, a, b, 0.5);
+        let grads = step.tape.backward(l);
+        let g = grads.get(a).unwrap();
+        let z1_new = z1.sub(&g.scale(0.5));
+        let after = cos(&z1_new, &z2);
+        assert!(after > before, "cosine went {before} -> {after}");
+    }
+
+    #[test]
+    fn gradcheck_nt_xent() {
+        let mut r = rng(14);
+        let z1 = uniform([3, 4], -1.0, 1.0, &mut r).map(|x| x + 0.4 * x.signum());
+        let z2 = uniform([3, 4], -1.0, 1.0, &mut r).map(|x| x + 0.4 * x.signum());
+        seqrec_tensor::gradcheck::assert_gradients(
+            |s, v| nt_xent(s, v[0], v[1], 0.7),
+            &[z1, z2],
+            1e-2,
+            5e-3,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_user_batches() {
+        let z = Tensor::from_vec([1, 2], vec![1.0, 0.0]);
+        loss_of(z.clone(), z, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_positive_temperature() {
+        let z = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        loss_of(z.clone(), z, 0.0);
+    }
+}

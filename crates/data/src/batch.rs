@@ -1,0 +1,223 @@
+//! Left-padded batching and negative sampling for sequence models.
+//!
+//! All sequence models in this workspace use **left padding**: the last
+//! element of every padded row is the most recent interaction, so "the user
+//! representation" is always the encoder output at position `T - 1`
+//! (Eq. 13). Id 0 is the padding token.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Pads (or truncates to the most recent `t` items) a sequence on the left.
+/// Returns the padded ids and a per-position validity mask.
+pub fn pad_left(seq: &[u32], t: usize) -> (Vec<u32>, Vec<bool>) {
+    let mut ids = vec![0u32; t];
+    let mut valid = vec![false; t];
+    let take = seq.len().min(t);
+    let src = &seq[seq.len() - take..];
+    for (i, &item) in src.iter().enumerate() {
+        ids[t - take + i] = item;
+        valid[t - take + i] = true;
+    }
+    (ids, valid)
+}
+
+/// A next-item training batch for SASRec-style models (Eq. 15):
+/// at each valid position `p`, `inputs[p]` should predict `pos[p]`, with
+/// `neg[p]` a sampled negative.
+#[derive(Clone, Debug)]
+pub struct NextItemBatch {
+    /// `[B*T]` left-padded input ids.
+    pub inputs: Vec<u32>,
+    /// `[B*T]` positive next-item targets (0 where invalid).
+    pub pos: Vec<u32>,
+    /// `[B*T]` sampled negative items (0 where invalid).
+    pub neg: Vec<u32>,
+    /// `[B*T]` 1.0 where the position has a real target, else 0.0.
+    pub target_mask: Vec<f32>,
+    /// `[B][T]` validity of each input position (for attention masking).
+    pub valid: Vec<Vec<bool>>,
+    /// Batch size.
+    pub b: usize,
+    /// Padded length.
+    pub t: usize,
+}
+
+/// Uniform negative sampler that avoids a user's own items.
+pub struct NegativeSampler {
+    num_items: usize,
+    rng: ChaCha8Rng,
+}
+
+impl NegativeSampler {
+    /// Creates a sampler over items `1..=num_items`.
+    ///
+    /// # Panics
+    /// Panics if `num_items == 0`.
+    pub fn new(num_items: usize, seed: u64) -> Self {
+        assert!(num_items > 0, "cannot sample negatives from an empty catalog");
+        NegativeSampler { num_items, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Samples one item not in `exclude`. Falls back to any item if the
+    /// exclusion covers (almost) the whole catalog.
+    pub fn sample(&mut self, exclude: &HashSet<u32>) -> u32 {
+        debug_assert!(self.num_items >= 1);
+        for _ in 0..64 {
+            let candidate = self.rng.gen_range(1..=self.num_items as u32);
+            if !exclude.contains(&candidate) {
+                return candidate;
+            }
+        }
+        // Degenerate catalog (exclusion ≈ everything): return uniformly.
+        self.rng.gen_range(1..=self.num_items as u32)
+    }
+}
+
+/// Builds a [`NextItemBatch`] from raw training sequences.
+///
+/// Each sequence `s` contributes inputs `s[..n-1]` and targets `s[1..]`,
+/// left-padded/truncated to `t`. Sequences shorter than 2 are skipped by the
+/// caller (they have no (input, target) pair).
+///
+/// # Panics
+/// Panics if any provided sequence has fewer than 2 items.
+pub fn next_item_batch(
+    seqs: &[&[u32]],
+    t: usize,
+    sampler: &mut NegativeSampler,
+) -> NextItemBatch {
+    let b = seqs.len();
+    let mut inputs = Vec::with_capacity(b * t);
+    let mut pos = Vec::with_capacity(b * t);
+    let mut neg = Vec::with_capacity(b * t);
+    let mut target_mask = Vec::with_capacity(b * t);
+    let mut valid = Vec::with_capacity(b);
+
+    for seq in seqs {
+        assert!(seq.len() >= 2, "sequence of length {} has no training pair", seq.len());
+        let exclude: HashSet<u32> = seq.iter().copied().collect();
+        let (in_ids, in_valid) = pad_left(&seq[..seq.len() - 1], t);
+        let (pos_ids, pos_valid) = pad_left(&seq[1..], t);
+        debug_assert_eq!(in_valid, pos_valid, "input/target alignment broke");
+        for i in 0..t {
+            inputs.push(in_ids[i]);
+            pos.push(pos_ids[i]);
+            if pos_valid[i] {
+                neg.push(sampler.sample(&exclude));
+                target_mask.push(1.0);
+            } else {
+                neg.push(0);
+                target_mask.push(0.0);
+            }
+        }
+        valid.push(in_valid);
+    }
+    NextItemBatch { inputs, pos, neg, target_mask, valid, b, t }
+}
+
+/// Deterministically chunks user indices into mini-batches after a seeded
+/// shuffle — one pass over this iterator is one training epoch.
+pub fn epoch_batches(users: &[usize], batch_size: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut order: Vec<usize> = users.to_vec();
+    use rand::seq::SliceRandom;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_left_puts_recent_items_last() {
+        let (ids, valid) = pad_left(&[7, 8, 9], 5);
+        assert_eq!(ids, vec![0, 0, 7, 8, 9]);
+        assert_eq!(valid, vec![false, false, true, true, true]);
+    }
+
+    #[test]
+    fn pad_left_truncates_to_most_recent() {
+        let (ids, valid) = pad_left(&[1, 2, 3, 4, 5], 3);
+        assert_eq!(ids, vec![3, 4, 5]);
+        assert!(valid.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn pad_left_of_empty_sequence() {
+        let (ids, valid) = pad_left(&[], 3);
+        assert_eq!(ids, vec![0, 0, 0]);
+        assert!(valid.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn batch_aligns_inputs_and_targets() {
+        let mut sampler = NegativeSampler::new(100, 1);
+        let seq: &[u32] = &[10, 20, 30, 40];
+        let batch = next_item_batch(&[seq], 5, &mut sampler);
+        // inputs: pad pad 10 20 30 / targets: pad pad 20 30 40
+        assert_eq!(batch.inputs, vec![0, 0, 10, 20, 30]);
+        assert_eq!(batch.pos, vec![0, 0, 20, 30, 40]);
+        assert_eq!(batch.target_mask, vec![0.0, 0.0, 1.0, 1.0, 1.0]);
+        // negatives avoid the user's items and the pad id
+        for (i, &n) in batch.neg.iter().enumerate() {
+            if batch.target_mask[i] > 0.0 {
+                assert!(n >= 1 && !seq.contains(&n));
+            } else {
+                assert_eq!(n, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_truncation_keeps_last_pairs() {
+        let mut sampler = NegativeSampler::new(100, 2);
+        let seq: &[u32] = &[1, 2, 3, 4, 5, 6];
+        let batch = next_item_batch(&[seq], 3, &mut sampler);
+        assert_eq!(batch.inputs, vec![3, 4, 5]);
+        assert_eq!(batch.pos, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn sampler_avoids_exclusions() {
+        let mut sampler = NegativeSampler::new(3, 3);
+        let exclude: HashSet<u32> = [1, 3].into_iter().collect();
+        for _ in 0..50 {
+            assert_eq!(sampler.sample(&exclude), 2);
+        }
+    }
+
+    #[test]
+    fn sampler_survives_full_exclusion() {
+        let mut sampler = NegativeSampler::new(2, 4);
+        let exclude: HashSet<u32> = [1, 2].into_iter().collect();
+        let s = sampler.sample(&exclude);
+        assert!(s >= 1 && s <= 2);
+    }
+
+    #[test]
+    fn epoch_batches_cover_all_users_once() {
+        let users: Vec<usize> = (0..10).collect();
+        let batches = epoch_batches(&users, 3, 9);
+        let mut seen: Vec<usize> = batches.concat();
+        assert_eq!(seen.len(), 10);
+        seen.sort_unstable();
+        assert_eq!(seen, users);
+        assert_eq!(batches.len(), 4);
+        // deterministic
+        assert_eq!(batches, epoch_batches(&users, 3, 9));
+        assert_ne!(batches, epoch_batches(&users, 3, 10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn batch_rejects_too_short_sequences() {
+        let mut sampler = NegativeSampler::new(10, 5);
+        next_item_batch(&[&[1u32][..]], 4, &mut sampler);
+    }
+}

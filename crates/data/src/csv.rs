@@ -1,0 +1,160 @@
+//! Plain-CSV interaction IO.
+//!
+//! Real dataset dumps (Amazon reviews, Yelp) convert trivially to
+//! `user,item,timestamp` rows; this module reads and writes that format so
+//! the experiment harness can run on real data when it is available. No
+//! external CSV crate: the format is three integer columns, and owning the
+//! parser keeps error messages domain-specific.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::interactions::{Interaction, RawLog};
+
+/// Errors from reading an interaction CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying file IO failed.
+    Io(io::Error),
+    /// A data row could not be parsed; carries (line number, content).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse(line, content) => {
+                write!(f, "line {line}: cannot parse `{content}` as user,item,timestamp")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses `user,item,timestamp` rows. A header line is detected (first line
+/// whose first field is not an integer) and skipped; blank lines are
+/// ignored.
+pub fn parse_interactions(text: &str) -> Result<RawLog, CsvError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_row(line) {
+            Some(e) => events.push(e),
+            // A header is only forgiven when its first field is clearly not
+            // an id — a malformed first data row must still error.
+            None if i == 0 && !starts_with_integer(line) => continue,
+            None => return Err(CsvError::Parse(i + 1, line.to_string())),
+        }
+    }
+    Ok(RawLog::new(events))
+}
+
+fn starts_with_integer(line: &str) -> bool {
+    line.split(',')
+        .next()
+        .is_some_and(|f| f.trim().parse::<u64>().is_ok())
+}
+
+fn parse_row(line: &str) -> Option<Interaction> {
+    let mut fields = line.split(',').map(str::trim);
+    let user = fields.next()?.parse().ok()?;
+    let item = fields.next()?.parse().ok()?;
+    let timestamp = fields.next()?.parse().ok()?;
+    if fields.next().is_some() {
+        return None; // too many columns
+    }
+    Some(Interaction { user, item, timestamp })
+}
+
+/// Renders a log as `user,item,timestamp` CSV with a header.
+pub fn format_interactions(log: &RawLog) -> String {
+    let mut out = String::with_capacity(24 * log.len() + 24);
+    out.push_str("user,item,timestamp\n");
+    for e in &log.events {
+        let _ = writeln!(out, "{},{},{}", e.user, e.item, e.timestamp);
+    }
+    out
+}
+
+/// Reads an interaction CSV from disk.
+pub fn read_interactions(path: impl AsRef<Path>) -> Result<RawLog, CsvError> {
+    parse_interactions(&fs::read_to_string(path)?)
+}
+
+/// Writes an interaction CSV to disk.
+pub fn write_interactions(path: impl AsRef<Path>, log: &RawLog) -> Result<(), CsvError> {
+    fs::write(path, format_interactions(log))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let log = RawLog::new(vec![
+            Interaction { user: 1, item: 10, timestamp: 100 },
+            Interaction { user: 2, item: 20, timestamp: -5 },
+        ]);
+        let text = format_interactions(&log);
+        let back = parse_interactions(&text).unwrap();
+        assert_eq!(back.events, log.events);
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let with = "user,item,timestamp\n1,2,3\n";
+        let without = "1,2,3\n";
+        assert_eq!(parse_interactions(with).unwrap().len(), 1);
+        assert_eq!(parse_interactions(without).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "1,2,3\n\n  \n4,5,6\n";
+        assert_eq!(parse_interactions(text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bad_rows_are_reported_with_line_numbers() {
+        let text = "1,2,3\nnot,a,row\n";
+        match parse_interactions(text) {
+            Err(CsvError::Parse(line, content)) => {
+                assert_eq!(line, 2);
+                assert!(content.contains("not"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_column_count_is_rejected() {
+        assert!(parse_interactions("1,2\n").is_err());
+        assert!(parse_interactions("1,2,3,4\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("seqrec_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.csv");
+        let log = RawLog::new(vec![Interaction { user: 7, item: 8, timestamp: 9 }]);
+        write_interactions(&path, &log).unwrap();
+        let back = read_interactions(&path).unwrap();
+        assert_eq!(back.events, log.events);
+    }
+}

@@ -1,0 +1,128 @@
+//! Iterative k-core filtering.
+//!
+//! The paper (§4.1.1, following [40, 55]) keeps only the "5-core": users and
+//! items with at least 5 interactions, discarding offenders *iteratively*
+//! until a fixed point — removing a cold item can push a user below the
+//! threshold and vice versa.
+
+use std::collections::HashMap;
+
+use crate::interactions::{Interaction, RawLog};
+
+/// Filters `log` to its k-core: every surviving user and item has at least
+/// `k` interactions among the surviving events. Runs to a fixed point.
+/// `k = 0` or `1` returns the log unchanged (minus nothing).
+pub fn k_core(log: &RawLog, k: usize) -> RawLog {
+    let mut events: Vec<Interaction> = log.events.clone();
+    loop {
+        let mut user_counts: HashMap<u64, usize> = HashMap::new();
+        let mut item_counts: HashMap<u64, usize> = HashMap::new();
+        for e in &events {
+            *user_counts.entry(e.user).or_default() += 1;
+            *item_counts.entry(e.item).or_default() += 1;
+        }
+        let before = events.len();
+        events.retain(|e| user_counts[&e.user] >= k && item_counts[&e.item] >= k);
+        if events.len() == before {
+            return RawLog::new(events);
+        }
+    }
+}
+
+/// The paper's 5-core.
+pub fn five_core(log: &RawLog) -> RawLog {
+    k_core(log, 5)
+}
+
+/// Checks the k-core property (every user and item has ≥ k events); the
+/// invariant tests and proptests use this as the oracle.
+pub fn is_k_core(log: &RawLog, k: usize) -> bool {
+    let mut user_counts: HashMap<u64, usize> = HashMap::new();
+    let mut item_counts: HashMap<u64, usize> = HashMap::new();
+    for e in &log.events {
+        *user_counts.entry(e.user).or_default() += 1;
+        *item_counts.entry(e.item).or_default() += 1;
+    }
+    user_counts.values().all(|&c| c >= k) && item_counts.values().all(|&c| c >= k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(user: u64, item: u64, t: i64) -> Interaction {
+        Interaction { user, item, timestamp: t }
+    }
+
+    /// A clique where 3 users each interact with the same 3 items once:
+    /// every user and item has exactly 3 events.
+    fn clique(users: u64, items: u64) -> Vec<Interaction> {
+        let mut out = Vec::new();
+        for u in 0..users {
+            for i in 0..items {
+                out.push(ev(u, 1000 + i, (u * items + i) as i64));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn keeps_a_dense_clique() {
+        let log = RawLog::new(clique(5, 5));
+        let filtered = five_core(&log);
+        assert_eq!(filtered.len(), 25);
+        assert!(is_k_core(&filtered, 5));
+    }
+
+    #[test]
+    fn drops_sparse_tails() {
+        let mut events = clique(5, 5);
+        events.push(ev(99, 1000, 0)); // one-off user
+        events.push(ev(0, 9999, 0)); // one-off item
+        let filtered = five_core(&RawLog::new(events));
+        assert_eq!(filtered.len(), 25);
+        assert!(filtered.events.iter().all(|e| e.user != 99 && e.item != 9999));
+    }
+
+    #[test]
+    fn cascades_to_a_fixed_point() {
+        // user 10 has 5 events, but 4 of them are on cold items that get
+        // removed, which then drops user 10 below the threshold — and the
+        // removal of user 10's remaining event must not break the core.
+        let mut events = clique(6, 6); // 6x6 clique: everyone has 6
+        for i in 0..4 {
+            events.push(ev(10, 5000 + i, i as i64)); // cold items
+        }
+        events.push(ev(10, 1000, 99)); // one event on a popular item
+        let filtered = five_core(&RawLog::new(events));
+        assert!(is_k_core(&filtered, 5));
+        assert!(filtered.events.iter().all(|e| e.user != 10));
+        assert_eq!(filtered.len(), 36);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let filtered = five_core(&RawLog::default());
+        assert!(filtered.is_empty());
+    }
+
+    #[test]
+    fn k1_keeps_everything() {
+        let log = RawLog::new(vec![ev(1, 2, 0)]);
+        assert_eq!(k_core(&log, 1).len(), 1);
+    }
+
+    #[test]
+    fn whole_log_can_vanish() {
+        let log = RawLog::new(vec![ev(1, 2, 0), ev(3, 4, 1)]);
+        assert!(five_core(&log).is_empty());
+    }
+
+    #[test]
+    fn repeated_interactions_count_per_event() {
+        // one user hitting one item 5 times is a valid 5-core
+        let events: Vec<_> = (0..5).map(|t| ev(1, 7, t)).collect();
+        let filtered = five_core(&RawLog::new(events));
+        assert_eq!(filtered.len(), 5);
+    }
+}

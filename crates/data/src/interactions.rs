@@ -1,0 +1,243 @@
+//! Raw interaction logs and preprocessed sequence datasets.
+//!
+//! The pipeline mirrors the paper's preprocessing (§4.1.1): collect implicit
+//! feedback events, apply the iterative 5-core filter, sort each user's
+//! events chronologically, and reindex users/items to dense ids. In the
+//! resulting [`Dataset`], item ids run from **1** to `num_items`; id **0 is
+//! reserved for padding** and id `num_items + 1` is used by models as the
+//! `[mask]` token.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One implicit-feedback event in a raw log (pre-filtering ids are
+/// arbitrary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interaction {
+    /// Raw user id.
+    pub user: u64,
+    /// Raw item id.
+    pub item: u64,
+    /// Event time; only the relative order per user matters.
+    pub timestamp: i64,
+}
+
+/// An unprocessed interaction log.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RawLog {
+    /// The events, in no particular order.
+    pub events: Vec<Interaction>,
+}
+
+impl RawLog {
+    /// Wraps a list of events.
+    pub fn new(events: Vec<Interaction>) -> Self {
+        RawLog { events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A preprocessed dataset: one chronological item sequence per user, with
+/// dense ids (`1..=num_items`; 0 = padding).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    sequences: Vec<Vec<u32>>,
+    num_items: usize,
+}
+
+/// Summary statistics in the shape of the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of users.
+    pub users: usize,
+    /// Number of distinct items.
+    pub items: usize,
+    /// Total interactions.
+    pub actions: usize,
+    /// Mean sequence length.
+    pub avg_length: f64,
+    /// `actions / (users × items)`, as a fraction (Table 1 prints %).
+    pub density: f64,
+}
+
+impl Dataset {
+    /// Builds a dataset from per-user sequences. Ids must already be dense
+    /// in `1..=num_items`.
+    ///
+    /// # Panics
+    /// Panics if any sequence contains 0 or an id above `num_items`.
+    pub fn new(sequences: Vec<Vec<u32>>, num_items: usize) -> Self {
+        for (u, s) in sequences.iter().enumerate() {
+            for &it in s {
+                assert!(
+                    it >= 1 && it as usize <= num_items,
+                    "user {u} has out-of-range item {it} (1..={num_items})"
+                );
+            }
+        }
+        Dataset { sequences, num_items }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Number of distinct items (ids `1..=num_items`).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// The chronological item sequence of `user`.
+    pub fn sequence(&self, user: usize) -> &[u32] {
+        &self.sequences[user]
+    }
+
+    /// All sequences.
+    pub fn sequences(&self) -> &[Vec<u32>] {
+        &self.sequences
+    }
+
+    /// Total number of interactions.
+    pub fn num_actions(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// Table 1 statistics for this dataset.
+    pub fn stats(&self) -> DatasetStats {
+        let users = self.num_users();
+        let actions = self.num_actions();
+        DatasetStats {
+            users,
+            items: self.num_items,
+            actions,
+            avg_length: if users == 0 { 0.0 } else { actions as f64 / users as f64 },
+            density: if users == 0 || self.num_items == 0 {
+                0.0
+            } else {
+                actions as f64 / (users as f64 * self.num_items as f64)
+            },
+        }
+    }
+
+    /// Per-item interaction counts, indexed by item id (index 0 unused).
+    pub fn item_popularity(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_items + 1];
+        for s in &self.sequences {
+            for &it in s {
+                counts[it as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Groups a raw log into per-user chronological sequences and reindexes
+/// users and items densely. Ties in timestamps keep input order (stable
+/// sort). Consecutive duplicate handling is left to callers — the paper
+/// keeps duplicates.
+pub fn build_dataset(log: &RawLog) -> Dataset {
+    let mut by_user: HashMap<u64, Vec<(i64, u64)>> = HashMap::new();
+    for e in &log.events {
+        by_user.entry(e.user).or_default().push((e.timestamp, e.item));
+    }
+    // Deterministic user order: sort by raw id.
+    let mut users: Vec<u64> = by_user.keys().copied().collect();
+    users.sort_unstable();
+
+    let mut item_ids: HashMap<u64, u32> = HashMap::new();
+    let mut sequences = Vec::with_capacity(users.len());
+    for u in users {
+        let mut events = by_user.remove(&u).expect("user key present");
+        events.sort_by_key(|&(t, _)| t);
+        let seq = events
+            .into_iter()
+            .map(|(_, raw_item)| {
+                let next = item_ids.len() as u32 + 1;
+                *item_ids.entry(raw_item).or_insert(next)
+            })
+            .collect();
+        sequences.push(seq);
+    }
+    let num_items = item_ids.len();
+    Dataset::new(sequences, num_items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(user: u64, item: u64, timestamp: i64) -> Interaction {
+        Interaction { user, item, timestamp }
+    }
+
+    #[test]
+    fn build_groups_and_sorts_chronologically() {
+        let log = RawLog::new(vec![
+            ev(7, 100, 3),
+            ev(7, 200, 1),
+            ev(9, 100, 5),
+            ev(7, 300, 2),
+        ]);
+        let ds = build_dataset(&log);
+        assert_eq!(ds.num_users(), 2);
+        assert_eq!(ds.num_items(), 3);
+        // user 7's items in time order: 200, 300, 100
+        let seq = ds.sequence(0);
+        assert_eq!(seq.len(), 3);
+        // item 100 appears in both sequences under the same dense id
+        assert_eq!(seq[2], ds.sequence(1)[0]);
+    }
+
+    #[test]
+    fn dense_ids_start_at_one() {
+        let ds = build_dataset(&RawLog::new(vec![ev(1, 42, 0)]));
+        assert_eq!(ds.sequence(0), &[1]);
+    }
+
+    #[test]
+    fn stats_match_table1_definitions() {
+        let ds = Dataset::new(vec![vec![1, 2, 3], vec![2, 3]], 3);
+        let s = ds.stats();
+        assert_eq!(s.users, 2);
+        assert_eq!(s.items, 3);
+        assert_eq!(s.actions, 5);
+        assert!((s.avg_length - 2.5).abs() < 1e-12);
+        assert!((s.density - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popularity_counts_every_occurrence() {
+        let ds = Dataset::new(vec![vec![1, 1, 2], vec![2, 3]], 3);
+        assert_eq!(ds.item_popularity(), vec![0, 2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_pad_id_in_sequences() {
+        Dataset::new(vec![vec![0, 1]], 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_items() {
+        Dataset::new(vec![vec![5]], 2);
+    }
+
+    #[test]
+    fn timestamp_ties_keep_input_order() {
+        let log = RawLog::new(vec![ev(1, 10, 0), ev(1, 20, 0), ev(1, 30, 0)]);
+        let ds = build_dataset(&log);
+        assert_eq!(ds.sequence(0), &[1, 2, 3]);
+    }
+}

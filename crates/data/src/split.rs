@@ -1,0 +1,176 @@
+//! Leave-one-out splitting (§4.1.2).
+//!
+//! For each user the last item is the test target, the one before it the
+//! validation target, and everything earlier is training data. Users with
+//! fewer than 3 interactions cannot be split and are dropped (the 5-core
+//! guarantees ≥ 5, so this only matters for hand-built datasets).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::interactions::Dataset;
+
+/// A leave-one-out split of a [`Dataset`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Split {
+    train: Vec<Vec<u32>>,
+    valid_target: Vec<u32>,
+    test_target: Vec<u32>,
+    num_items: usize,
+}
+
+impl Split {
+    /// Splits `dataset` leave-one-out. Users with < 3 interactions are
+    /// dropped.
+    pub fn leave_one_out(dataset: &Dataset) -> Self {
+        let mut train = Vec::with_capacity(dataset.num_users());
+        let mut valid_target = Vec::with_capacity(dataset.num_users());
+        let mut test_target = Vec::with_capacity(dataset.num_users());
+        for seq in dataset.sequences() {
+            if seq.len() < 3 {
+                continue;
+            }
+            let n = seq.len();
+            train.push(seq[..n - 2].to_vec());
+            valid_target.push(seq[n - 2]);
+            test_target.push(seq[n - 1]);
+        }
+        Split { train, valid_target, test_target, num_items: dataset.num_items() }
+    }
+
+    /// Number of users that survived splitting.
+    pub fn num_users(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Number of distinct items in the underlying dataset.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Training prefix of `user` (everything except the last two items).
+    pub fn train_sequence(&self, user: usize) -> &[u32] {
+        &self.train[user]
+    }
+
+    /// All training sequences.
+    pub fn train_sequences(&self) -> &[Vec<u32>] {
+        &self.train
+    }
+
+    /// The held-out validation item of `user`.
+    pub fn valid_target(&self, user: usize) -> u32 {
+        self.valid_target[user]
+    }
+
+    /// The held-out test item of `user`.
+    pub fn test_target(&self, user: usize) -> u32 {
+        self.test_target[user]
+    }
+
+    /// Model input when predicting the validation item: the training prefix.
+    pub fn valid_input(&self, user: usize) -> Vec<u32> {
+        self.train[user].clone()
+    }
+
+    /// Model input when predicting the test item: training prefix plus the
+    /// validation item (the paper evaluates the test step with all earlier
+    /// interactions visible).
+    pub fn test_input(&self, user: usize) -> Vec<u32> {
+        let mut s = self.train[user].clone();
+        s.push(self.valid_target[user]);
+        s
+    }
+
+    /// Every item `user` interacted with (train + valid + test); full-catalog
+    /// ranking excludes these, except the current target.
+    pub fn user_items(&self, user: usize) -> Vec<u32> {
+        let mut s = self.train[user].clone();
+        s.push(self.valid_target[user]);
+        s.push(self.test_target[user]);
+        s
+    }
+
+    /// A deterministic random subset of users covering `frac` of the
+    /// training population — the RQ4 (Figure 6) data-sparsity knob. The
+    /// evaluation split is untouched; only train on the returned users.
+    ///
+    /// # Panics
+    /// Panics unless `0 < frac <= 1`.
+    pub fn train_user_subset(&self, frac: f64, seed: u64) -> Vec<usize> {
+        assert!(frac > 0.0 && frac <= 1.0, "frac {frac} outside (0, 1]");
+        let mut users: Vec<usize> = (0..self.num_users()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        users.shuffle(&mut rng);
+        let keep = ((self.num_users() as f64 * frac).round() as usize)
+            .clamp(1, self.num_users());
+        users.truncate(keep);
+        users.sort_unstable();
+        users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            vec![vec![1, 2, 3, 4, 5], vec![2, 3, 4], vec![5, 1]],
+            5,
+        )
+    }
+
+    #[test]
+    fn last_two_items_are_held_out() {
+        let split = Split::leave_one_out(&dataset());
+        assert_eq!(split.num_users(), 2); // the 2-item user is dropped
+        assert_eq!(split.train_sequence(0), &[1, 2, 3]);
+        assert_eq!(split.valid_target(0), 4);
+        assert_eq!(split.test_target(0), 5);
+    }
+
+    #[test]
+    fn test_input_includes_validation_item() {
+        let split = Split::leave_one_out(&dataset());
+        assert_eq!(split.valid_input(0), vec![1, 2, 3]);
+        assert_eq!(split.test_input(0), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn user_items_cover_everything() {
+        let split = Split::leave_one_out(&dataset());
+        assert_eq!(split.user_items(1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn subset_is_deterministic_and_sized() {
+        let ds = Dataset::new(vec![vec![1, 2, 3]; 100], 3);
+        let split = Split::leave_one_out(&ds);
+        let a = split.train_user_subset(0.2, 7);
+        let b = split.train_user_subset(0.2, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        let c = split.train_user_subset(0.2, 8);
+        assert_ne!(a, c, "different seeds should pick different subsets");
+        assert_eq!(split.train_user_subset(1.0, 0).len(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn subset_rejects_zero_fraction() {
+        let split = Split::leave_one_out(&dataset());
+        split.train_user_subset(0.0, 0);
+    }
+
+    #[test]
+    fn minimum_sequence_gets_empty_train() {
+        let ds = Dataset::new(vec![vec![1, 2, 3]], 3);
+        let split = Split::leave_one_out(&ds);
+        assert_eq!(split.train_sequence(0), &[1u32]);
+        assert_eq!(split.valid_target(0), 2);
+        assert_eq!(split.test_target(0), 3);
+    }
+}

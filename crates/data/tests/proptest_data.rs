@@ -1,0 +1,118 @@
+//! Property-based tests on the data pipeline: k-core convergence,
+//! reindexing density, split integrity, and batching alignment.
+
+use proptest::prelude::*;
+use seqrec_data::batch::{next_item_batch, pad_left, NegativeSampler};
+use seqrec_data::five_core::{is_k_core, k_core};
+use seqrec_data::interactions::{build_dataset, Interaction, RawLog};
+use seqrec_data::Split;
+
+fn arb_log(max_events: usize) -> impl Strategy<Value = RawLog> {
+    proptest::collection::vec(
+        (0u64..30, 0u64..40, -50i64..50),
+        0..max_events,
+    )
+    .prop_map(|rows| {
+        RawLog::new(
+            rows.into_iter()
+                .map(|(user, item, timestamp)| Interaction { user, item, timestamp })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// k_core always terminates at a log satisfying the k-core property,
+    /// and never invents events.
+    #[test]
+    fn k_core_yields_a_k_core(log in arb_log(300), k in 1usize..6) {
+        let filtered = k_core(&log, k);
+        prop_assert!(is_k_core(&filtered, k));
+        prop_assert!(filtered.len() <= log.len());
+        for e in &filtered.events {
+            prop_assert!(log.events.contains(e));
+        }
+    }
+
+    /// k_core is idempotent.
+    #[test]
+    fn k_core_is_idempotent(log in arb_log(300), k in 1usize..6) {
+        let once = k_core(&log, k);
+        let twice = k_core(&once, k);
+        prop_assert_eq!(once.events, twice.events);
+    }
+
+    /// Reindexing produces dense item ids starting at 1, and preserves the
+    /// per-user event counts.
+    #[test]
+    fn build_dataset_is_dense_and_count_preserving(log in arb_log(300)) {
+        let ds = build_dataset(&log);
+        prop_assert_eq!(ds.num_actions(), log.len());
+        let pop = ds.item_popularity();
+        // every dense id 1..=num_items occurs at least once
+        prop_assert!(pop[1..].iter().all(|&c| c > 0));
+    }
+
+    /// Leave-one-out: train + valid + test exactly reconstruct each kept
+    /// user's sequence.
+    #[test]
+    fn split_partitions_each_sequence(log in arb_log(400)) {
+        let ds = build_dataset(&k_core(&log, 5));
+        let split = Split::leave_one_out(&ds);
+        for u in 0..split.num_users() {
+            let mut rebuilt = split.train_sequence(u).to_vec();
+            rebuilt.push(split.valid_target(u));
+            rebuilt.push(split.test_target(u));
+            // find the matching original sequence
+            let found = ds.sequences().iter().any(|s| s == &rebuilt);
+            prop_assert!(found, "user {u}: rebuilt sequence not in dataset");
+        }
+    }
+
+    /// pad_left output always has exactly `t` entries, valid flags match
+    /// non-pad positions, and the suffix equals the most recent items.
+    #[test]
+    fn pad_left_invariants(
+        seq in proptest::collection::vec(1u32..100, 0..30),
+        t in 1usize..20,
+    ) {
+        let (ids, valid) = pad_left(&seq, t);
+        prop_assert_eq!(ids.len(), t);
+        prop_assert_eq!(valid.len(), t);
+        let take = seq.len().min(t);
+        prop_assert_eq!(&ids[t - take..], &seq[seq.len() - take..]);
+        for i in 0..t {
+            prop_assert_eq!(valid[i], i >= t - take);
+            if !valid[i] {
+                prop_assert_eq!(ids[i], 0);
+            }
+        }
+    }
+
+    /// Training batches align inputs and targets: target[p] is the item
+    /// right after input[p] in the original sequence.
+    #[test]
+    fn next_item_batch_alignment(
+        seq in proptest::collection::vec(1u32..50, 2..30),
+        t in 2usize..16,
+        seed in 0u64..100,
+    ) {
+        let mut sampler = NegativeSampler::new(60, seed);
+        let slice: &[u32] = &seq;
+        let batch = next_item_batch(&[slice], t, &mut sampler);
+        prop_assert_eq!(batch.b, 1);
+        for p in 0..t {
+            if batch.target_mask[p] > 0.0 {
+                // find input in the sequence; its successor is the target
+                let inp = batch.inputs[p];
+                let tgt = batch.pos[p];
+                let ok = seq.windows(2).any(|w| w[0] == inp && w[1] == tgt);
+                prop_assert!(ok, "pair ({inp} -> {tgt}) not in sequence");
+                // negatives avoid the user's items
+                prop_assert!(!seq.contains(&batch.neg[p]));
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # seqrec-eval
+//!
+//! Full-catalog ranking evaluation for the CL4SRec reproduction. Implements
+//! the paper's protocol exactly (§4.1.2): leave-one-out targets, ranking
+//! against **every** item the user has not interacted with (no sampled
+//! metrics), HR@k / NDCG@k / MRR, evaluated in parallel with rayon.
+//!
+//! Models implement [`SequenceScorer`]; [`evaluate`] drives batched scoring
+//! and metric accumulation. [`report`] renders Table-1/Table-2-style
+//! markdown.
+
+#![warn(missing_docs)]
+
+pub mod evaluator;
+pub mod metrics;
+pub mod report;
+
+pub use evaluator::{evaluate, EvalOptions, EvalTarget, SequenceScorer};
+pub use metrics::{rank_of_target, MetricsAccumulator, RankingMetrics, PAPER_KS};
+pub use report::{stats_markdown, DatasetResults};

@@ -1,0 +1,171 @@
+//! Table formatting for experiment output.
+//!
+//! The experiment binaries print Table-2-style markdown: one row per
+//! metric, one column per method, plus relative-improvement columns
+//! matching the paper's `Improv.` columns.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::RankingMetrics;
+
+/// Results of all methods on one dataset.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DatasetResults {
+    /// Dataset label.
+    pub dataset: String,
+    /// `(method name, metrics)` in presentation order.
+    pub methods: Vec<(String, RankingMetrics)>,
+}
+
+impl DatasetResults {
+    /// Creates an empty result set for `dataset`.
+    pub fn new(dataset: impl Into<String>) -> Self {
+        DatasetResults { dataset: dataset.into(), methods: Vec::new() }
+    }
+
+    /// Appends a method's metrics.
+    pub fn push(&mut self, method: impl Into<String>, metrics: RankingMetrics) {
+        self.methods.push((method.into(), metrics));
+    }
+
+    /// Metrics of `method`, if present.
+    pub fn get(&self, method: &str) -> Option<&RankingMetrics> {
+        self.methods.iter().find(|(m, _)| m == method).map(|(_, r)| r)
+    }
+
+    /// Renders a markdown table with HR@k / NDCG@k rows for each tracked k.
+    /// When `improvement_over` names present methods, extra columns show the
+    /// relative improvement of the **last** method over each of them
+    /// (mirroring the paper's `Improv.#1 / #2`).
+    pub fn to_markdown(&self, improvement_over: &[&str]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.dataset);
+        let mut header = String::from("| Metric |");
+        let mut rule = String::from("|---|");
+        for (name, _) in &self.methods {
+            let _ = write!(header, " {name} |");
+            rule.push_str("---|");
+        }
+        for base in improvement_over {
+            let _ = write!(header, " vs {base} |");
+            rule.push_str("---|");
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{rule}");
+
+        let ks = match self.methods.first() {
+            Some((_, m)) => m.ks.clone(),
+            None => return out,
+        };
+        let last = self.methods.last().map(|(n, _)| n.clone()).unwrap_or_default();
+        for metric in ["HR", "NDCG"] {
+            for &k in &ks {
+                let mut row = format!("| {metric}@{k} |");
+                for (_, m) in &self.methods {
+                    let v = if metric == "HR" { m.hr_at(k) } else { m.ndcg_at(k) };
+                    let _ = write!(row, " {v:.4} |");
+                }
+                for base in improvement_over {
+                    let imp = self.improvement(base, &last, metric, k);
+                    match imp {
+                        Some(p) => {
+                            let _ = write!(row, " {p:+.2}% |");
+                        }
+                        None => row.push_str(" n/a |"),
+                    }
+                }
+                let _ = writeln!(out, "{row}");
+            }
+        }
+        out
+    }
+
+    /// Relative improvement (%) of `method` over `base` on `metric@k`.
+    pub fn improvement(&self, base: &str, method: &str, metric: &str, k: usize) -> Option<f64> {
+        let b = self.get(base)?;
+        let m = self.get(method)?;
+        let (bv, mv) = if metric == "HR" {
+            (b.hr_at(k), m.hr_at(k))
+        } else {
+            (b.ndcg_at(k), m.ndcg_at(k))
+        };
+        if bv <= 0.0 {
+            return None;
+        }
+        Some(100.0 * (mv - bv) / bv)
+    }
+}
+
+/// Renders Table-1-style dataset statistics as markdown.
+pub fn stats_markdown(rows: &[(String, seqrec_data::DatasetStats)]) -> String {
+    let mut out = String::from(
+        "| Dataset | #users | #items | #actions | avg.length | density |\n|---|---|---|---|---|---|\n",
+    );
+    for (name, s) in rows {
+        let _ = writeln!(
+            out,
+            "| {name} | {} | {} | {} | {:.1} | {:.2}% |",
+            s.users,
+            s.items,
+            s.actions,
+            s.avg_length,
+            100.0 * s.density
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsAccumulator;
+
+    fn metrics(ranks: &[usize]) -> RankingMetrics {
+        let mut acc = MetricsAccumulator::paper();
+        for &r in ranks {
+            acc.push(r);
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn markdown_contains_all_methods_and_metrics() {
+        let mut res = DatasetResults::new("beauty");
+        res.push("SASRec", metrics(&[3, 8, 40]));
+        res.push("CL4SRec", metrics(&[1, 4, 30]));
+        let md = res.to_markdown(&["SASRec"]);
+        assert!(md.contains("### beauty"));
+        assert!(md.contains("| SASRec |"));
+        assert!(md.contains("| CL4SRec |"));
+        assert!(md.contains("HR@5"));
+        assert!(md.contains("NDCG@20"));
+        assert!(md.contains("vs SASRec"));
+    }
+
+    #[test]
+    fn improvement_math() {
+        let mut res = DatasetResults::new("d");
+        res.push("a", metrics(&[0, 100])); // HR@5 = 0.5
+        res.push("b", metrics(&[0, 0])); // HR@5 = 1.0
+        let imp = res.improvement("a", "b", "HR", 5).unwrap();
+        assert!((imp - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_over_zero_is_none() {
+        let mut res = DatasetResults::new("d");
+        res.push("a", metrics(&[100])); // HR@5 = 0
+        res.push("b", metrics(&[0]));
+        assert!(res.improvement("a", "b", "HR", 5).is_none());
+        assert!(res.improvement("missing", "b", "HR", 5).is_none());
+    }
+
+    #[test]
+    fn stats_table_renders() {
+        let stats = seqrec_data::Dataset::new(vec![vec![1, 2, 3]], 3).stats();
+        let md = stats_markdown(&[("toy".into(), stats)]);
+        assert!(md.contains("| toy | 1 | 3 | 3 | 3.0 |"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared training plumbing: options, per-epoch logs, early stopping.
+
+use seqrec_data::Split;
+use seqrec_eval::{evaluate, EvalOptions, EvalTarget, SequenceScorer};
+use serde::{Deserialize, Serialize};
+
+/// Options shared by every trainable model in this crate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Maximum training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (paper: 256).
+    pub batch_size: usize,
+    /// Base learning rate (paper: 1e-3 with Adam).
+    pub lr: f32,
+    /// Seed controlling shuffling, negative sampling and dropout.
+    pub seed: u64,
+    /// Early stopping: stop after this many epochs without validation
+    /// improvement (None disables; the paper trains both stages with early
+    /// stopping).
+    pub patience: Option<usize>,
+    /// How many users to sample for the per-epoch validation probe (full
+    /// validation every epoch would dominate runtime); the probe still ranks
+    /// the entire catalog.
+    pub valid_probe_users: usize,
+    /// Restrict training to these user indices (RQ4 data-sparsity sweeps);
+    /// None trains on everyone.
+    pub train_users: Option<Vec<usize>>,
+    /// Print one line per epoch.
+    pub verbose: bool,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 30,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 42,
+            patience: Some(3),
+            valid_probe_users: 500,
+            train_users: None,
+            verbose: false,
+        }
+    }
+}
+
+/// One epoch of training telemetry.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpochLog {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss.
+    pub loss: f32,
+    /// Validation HR@10 on the probe subset (None when not probed).
+    pub valid_hr10: Option<f64>,
+}
+
+/// Result of a training run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Per-epoch telemetry.
+    pub epochs: Vec<EpochLog>,
+    /// Best validation HR@10 observed.
+    pub best_valid_hr10: f64,
+    /// Whether early stopping triggered.
+    pub early_stopped: bool,
+}
+
+impl TrainReport {
+    /// Number of epochs actually run.
+    pub fn epochs_run(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Final training loss (NaN when no epoch ran).
+    pub fn final_loss(&self) -> f32 {
+        self.epochs.last().map_or(f32::NAN, |e| e.loss)
+    }
+}
+
+/// Tracks validation progress and decides when to stop.
+pub struct EarlyStopper {
+    patience: Option<usize>,
+    best: f64,
+    since_best: usize,
+}
+
+impl EarlyStopper {
+    /// Creates a stopper; `patience = None` never stops.
+    pub fn new(patience: Option<usize>) -> Self {
+        EarlyStopper { patience, best: f64::NEG_INFINITY, since_best: 0 }
+    }
+
+    /// Best value seen so far.
+    pub fn best(&self) -> f64 {
+        if self.best.is_finite() {
+            self.best
+        } else {
+            0.0
+        }
+    }
+
+    /// Feeds a new validation value; returns true when training should stop.
+    pub fn update(&mut self, value: f64) -> bool {
+        if value > self.best {
+            self.best = value;
+            self.since_best = 0;
+            false
+        } else {
+            self.since_best += 1;
+            self.patience.is_some_and(|p| self.since_best >= p)
+        }
+    }
+}
+
+/// Probes validation HR@10 on a deterministic subset of users.
+pub fn probe_valid_hr10(
+    model: &impl SequenceScorer,
+    split: &Split,
+    probe_users: usize,
+    seed: u64,
+) -> f64 {
+    let users = if probe_users >= split.num_users() {
+        None
+    } else {
+        // reuse the split's deterministic subsetting
+        let frac = probe_users as f64 / split.num_users() as f64;
+        Some(split.train_user_subset(frac.clamp(1e-9, 1.0), seed))
+    };
+    let opts = EvalOptions { users, ks: vec![10], ..Default::default() };
+    evaluate(model, split, EvalTarget::Valid, &opts).hr_at(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_stopper_respects_patience() {
+        let mut s = EarlyStopper::new(Some(2));
+        assert!(!s.update(0.5));
+        assert!(!s.update(0.4)); // 1 bad epoch
+        assert!(s.update(0.3)); // 2 bad epochs → stop
+        assert_eq!(s.best(), 0.5);
+    }
+
+    #[test]
+    fn improvement_resets_the_counter() {
+        let mut s = EarlyStopper::new(Some(2));
+        assert!(!s.update(0.1));
+        assert!(!s.update(0.05));
+        assert!(!s.update(0.2)); // new best
+        assert!(!s.update(0.15));
+        assert!(s.update(0.1));
+    }
+
+    #[test]
+    fn none_patience_never_stops() {
+        let mut s = EarlyStopper::new(None);
+        for _ in 0..100 {
+            assert!(!s.update(0.0));
+        }
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let o = TrainOptions::default();
+        assert_eq!(o.batch_size, 256);
+        assert!((o.lr - 1e-3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Pop: the non-personalised most-popular baseline.
+
+use seqrec_data::Split;
+use seqrec_eval::SequenceScorer;
+
+/// Recommends items by global training-set popularity — identical scores
+/// for every user.
+pub struct Pop {
+    scores: Vec<f32>,
+    num_items: usize,
+}
+
+impl Pop {
+    /// Counts item frequencies over the training sequences of `split`.
+    pub fn fit(split: &Split) -> Self {
+        let mut counts = vec![0u32; split.num_items() + 1];
+        for u in 0..split.num_users() {
+            for &it in split.train_sequence(u) {
+                counts[it as usize] += 1;
+            }
+        }
+        let scores = counts.iter().map(|&c| c as f32).collect();
+        Pop { scores, num_items: split.num_items() }
+    }
+
+    /// The popularity score of `item`.
+    pub fn popularity(&self, item: u32) -> f32 {
+        self.scores[item as usize]
+    }
+}
+
+impl SequenceScorer for Pop {
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+    fn score_full_catalog(&self, users: &[usize], _inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+        users.iter().map(|_| self.scores.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqrec_data::Dataset;
+    use seqrec_eval::{evaluate, EvalOptions, EvalTarget};
+
+    #[test]
+    fn counts_only_training_items() {
+        // sequences end with [valid, test]; those two must not count
+        let ds = Dataset::new(vec![vec![1, 1, 1, 2, 3], vec![1, 4, 5]], 5);
+        let split = Split::leave_one_out(&ds);
+        let pop = Pop::fit(&split);
+        assert_eq!(pop.popularity(1), 4.0); // 3 from user 0 + 1 from user 1
+        assert_eq!(pop.popularity(2), 0.0); // held out as validation
+        assert_eq!(pop.popularity(3), 0.0); // held out as test
+    }
+
+    #[test]
+    fn recommends_popular_items_to_everyone() {
+        // 10 users training on item 1 repeatedly, test target is item 1 for
+        // a user whose history hasn't covered it... build: popular item 2.
+        let mut seqs = vec![vec![2u32, 2, 2, 1, 3]; 8];
+        seqs.push(vec![1, 3, 2]); // this user's test target IS the popular item
+        let ds = Dataset::new(seqs, 3);
+        let split = Split::leave_one_out(&ds);
+        let pop = Pop::fit(&split);
+        let opts = EvalOptions { users: Some(vec![8]), ..Default::default() };
+        let m = evaluate(&pop, &split, EvalTarget::Test, &opts);
+        assert_eq!(m.hr_at(5), 1.0);
+    }
+
+    #[test]
+    fn scores_are_user_independent() {
+        let ds = Dataset::new(vec![vec![1, 2, 3], vec![3, 2, 1]], 3);
+        let split = Split::leave_one_out(&ds);
+        let pop = Pop::fit(&split);
+        let s = pop.score_full_catalog(&[0, 1], &[&[1], &[3]]);
+        assert_eq!(s[0], s[1]);
+    }
+}

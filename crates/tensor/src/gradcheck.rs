@@ -1,0 +1,158 @@
+//! Finite-difference gradient checking.
+//!
+//! Every nontrivial op in this crate is verified against central finite
+//! differences; the model crates reuse [`check_gradients`] on whole
+//! forward passes (attention blocks, GRU cells, losses), which is the
+//! strongest correctness evidence a from-scratch autograd can offer.
+
+use crate::nn::param::Step;
+use crate::tape::Var;
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: largest absolute and relative deviation
+/// between analytic and numeric gradients over all input elements.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest `|analytic - numeric|`.
+    pub max_abs_err: f64,
+    /// Largest `|analytic - numeric| / max(1, |analytic|, |numeric|)`.
+    pub max_rel_err: f64,
+}
+
+/// Checks the gradients of a scalar-valued function of `inputs` against
+/// central finite differences with step `eps`.
+///
+/// `f` receives a fresh [`Step`] and the leaf vars corresponding to
+/// `inputs` (in order) and must return a **one-element** loss var. It must
+/// be deterministic — rebuild any dropout masks outside or use
+/// `training = false`.
+///
+/// # Panics
+/// Panics if `f` returns a non-scalar var.
+pub fn check_gradients(
+    f: impl Fn(&mut Step, &[Var]) -> Var,
+    inputs: &[Tensor],
+    eps: f32,
+) -> GradCheckReport {
+    // Analytic gradients.
+    let mut step = Step::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| step.tape.leaf(t.clone())).collect();
+    let loss = f(&mut step, &vars);
+    let grads = step.tape.backward(loss);
+    let analytic: Vec<Tensor> = vars
+        .iter()
+        .zip(inputs)
+        .map(|(&v, t)| {
+            grads
+                .get(v)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(t.shape().clone()))
+        })
+        .collect();
+
+    let eval = |perturbed: &[Tensor]| -> f64 {
+        let mut step = Step::new();
+        let vars: Vec<Var> = perturbed.iter().map(|t| step.tape.leaf(t.clone())).collect();
+        let loss = f(&mut step, &vars);
+        step.tape.value(loss).item() as f64
+    };
+
+    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    for (i, input) in inputs.iter().enumerate() {
+        for j in 0..input.len() {
+            let mut plus: Vec<Tensor> = inputs.to_vec();
+            plus[i].data_mut()[j] += eps;
+            let mut minus: Vec<Tensor> = inputs.to_vec();
+            minus[i].data_mut()[j] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps as f64);
+            let analytic_v = analytic[i].at(j) as f64;
+            let abs = (analytic_v - numeric).abs();
+            let rel = abs / analytic_v.abs().max(numeric.abs()).max(1.0);
+            report.max_abs_err = report.max_abs_err.max(abs);
+            report.max_rel_err = report.max_rel_err.max(rel);
+        }
+    }
+    report
+}
+
+/// Asserts the gradient check passes within `tol` (relative).
+///
+/// # Panics
+/// Panics with the report when the tolerance is exceeded.
+pub fn assert_gradients(
+    f: impl Fn(&mut Step, &[Var]) -> Var,
+    inputs: &[Tensor],
+    eps: f32,
+    tol: f64,
+) {
+    let report = check_gradients(f, inputs, eps);
+    assert!(
+        report.max_rel_err <= tol,
+        "gradient check failed: {report:?} (tol {tol})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng, uniform};
+
+    #[test]
+    fn catches_a_correct_gradient() {
+        // loss = Σ x², dx = 2x
+        let mut r = rng(60);
+        let x = uniform([5], -1.0, 1.0, &mut r);
+        assert_gradients(
+            |step, vars| {
+                let sq = step.tape.mul(vars[0], vars[0]);
+                step.tape.sum_all(sq)
+            },
+            &[x],
+            1e-3,
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn would_catch_a_wrong_gradient() {
+        // scale claims d/dx (2x) = 2, so pretending the function is 3x
+        // must blow the tolerance.
+        let mut r = rng(61);
+        let x = uniform([4], -1.0, 1.0, &mut r);
+        let report = check_gradients(
+            |step, vars| {
+                // forward computes 3·Σx but we route through `scale(x, 2)`
+                // plus a constant-captured extra Σx that backward can't see:
+                // emulate by adding a *constant* copy of x, whose gradient
+                // is (wrongly, for this function) not attributed to x.
+                let doubled = step.tape.scale(vars[0], 2.0);
+                let c = step.tape.value(vars[0]).clone();
+                let with_const = step.tape.add_const(doubled, &c);
+                step.tape.sum_all(with_const)
+            },
+            &[x],
+            1e-3,
+        );
+        assert!(report.max_rel_err > 0.1, "expected failure, got {report:?}");
+    }
+
+    #[test]
+    fn multi_input_functions() {
+        // loss = Σ (a ∘ b), da = b, db = a
+        let mut r = rng(62);
+        let a = uniform([3], -1.0, 1.0, &mut r);
+        let b = uniform([3], -1.0, 1.0, &mut r);
+        assert_gradients(
+            |step, vars| {
+                let p = step.tape.mul(vars[0], vars[1]);
+                step.tape.sum_all(p)
+            },
+            &[a, b],
+            1e-3,
+            1e-3,
+        );
+    }
+
+    // The comprehensive per-op checks live in tests/gradcheck_ops.rs at the
+    // crate level, where each public op gets its own case.
+}

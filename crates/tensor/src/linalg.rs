@@ -1,0 +1,343 @@
+//! Matrix-multiply kernels.
+//!
+//! Three layout variants are provided — `nn` (`A·B`), `nt` (`A·Bᵀ`) and
+//! `tn` (`Aᵀ·B`) — because the backward pass of a matmul needs the transposed
+//! variants and materialising transposes would double memory traffic. All
+//! kernels accumulate along contiguous rows so the inner loops auto-vectorise,
+//! and fan out over rayon once the work is large enough to amortise the
+//! scheduling cost.
+//!
+//! Batched versions (`bmm_*`) treat every leading dimension as batch; the two
+//! trailing dimensions are the matrix. Multi-head attention uses these with
+//! shape `[batch·heads, T, d_head]`.
+
+use rayon::prelude::*;
+
+use crate::tensor::Tensor;
+
+/// Below this many multiply-adds a single thread is faster than fanning out.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// `C = A · B` for rank-2 tensors `[m,k] · [k,n] -> [m,n]`.
+///
+/// # Panics
+/// Panics unless `a` is `[m,k]` and `b` is `[k,n]`.
+pub fn matmul_nn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a);
+    let (k2, n) = dims2(b);
+    assert_eq!(k, k2, "matmul_nn inner dims: {} vs {}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; m * n];
+    kernel_nn(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C = A · Bᵀ` for rank-2 tensors `[m,k] · ([n,k])ᵀ -> [m,n]`.
+///
+/// # Panics
+/// Panics unless `a` is `[m,k]` and `b` is `[n,k]`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a);
+    let (n, k2) = dims2(b);
+    assert_eq!(k, k2, "matmul_nt inner dims: {} vs {}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; m * n];
+    kernel_nt(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C = Aᵀ · B` for rank-2 tensors `([k,m])ᵀ · [k,n] -> [m,n]`.
+///
+/// # Panics
+/// Panics unless `a` is `[k,m]` and `b` is `[k,n]`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a);
+    let (k2, n) = dims2(b);
+    assert_eq!(k, k2, "matmul_tn inner dims: {} vs {}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; m * n];
+    kernel_tn(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec([m, n], out)
+}
+
+/// Batched `A · B`: `[..., m, k] · [..., k, n] -> [..., m, n]` with identical
+/// leading (batch) dimensions.
+pub fn bmm_nn(a: &Tensor, b: &Tensor) -> Tensor {
+    bmm(a, b, Kind::Nn)
+}
+
+/// Batched `A · Bᵀ`: `[..., m, k] · [..., n, k] -> [..., m, n]`.
+pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    bmm(a, b, Kind::Nt)
+}
+
+/// Batched `Aᵀ · B`: `[..., k, m] · [..., k, n] -> [..., m, n]`.
+pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    bmm(a, b, Kind::Tn)
+}
+
+/// Reference implementation (naive triple loop) used by tests and by the
+/// `matmul` ablation bench.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a);
+    let (k2, n) = dims2(b);
+    assert_eq!(k, k2);
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += ad[i * k + p] * bd[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Nn,
+    Nt,
+    Tn,
+}
+
+fn bmm(a: &Tensor, b: &Tensor, kind: Kind) -> Tensor {
+    let (ba, r0, c0) = a.shape().as_batched_matrix();
+    let (bb, r1, c1) = b.shape().as_batched_matrix();
+    assert_eq!(
+        ba, bb,
+        "bmm batch dims differ: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = match kind {
+        Kind::Nn => {
+            assert_eq!(c0, r1, "bmm_nn inner dims: {} vs {}", a.shape(), b.shape());
+            (r0, c0, c1)
+        }
+        Kind::Nt => {
+            assert_eq!(c0, c1, "bmm_nt inner dims: {} vs {}", a.shape(), b.shape());
+            (r0, c0, r1)
+        }
+        Kind::Tn => {
+            assert_eq!(r0, r1, "bmm_tn inner dims: {} vs {}", a.shape(), b.shape());
+            (c0, r0, c1)
+        }
+    };
+    let out_shape = a.shape().with_matrix_dims(m, n);
+    let (as_, bs) = (a.data(), b.data());
+    let (a_stride, b_stride) = (r0 * c0, r1 * c1);
+    let mut out = vec![0.0f32; ba * m * n];
+
+    let run = |(i, chunk): (usize, &mut [f32])| {
+        let av = &as_[i * a_stride..(i + 1) * a_stride];
+        let bv = &bs[i * b_stride..(i + 1) * b_stride];
+        match kind {
+            Kind::Nn => kernel_nn_serial(av, bv, chunk, m, k, n),
+            Kind::Nt => kernel_nt_serial(av, bv, chunk, m, k, n),
+            Kind::Tn => kernel_tn_serial(av, bv, chunk, m, k, n),
+        }
+    };
+    if ba * m * k * n >= PAR_THRESHOLD && ba > 1 {
+        out.par_chunks_mut(m * n).enumerate().for_each(run);
+    } else {
+        out.chunks_mut(m * n).enumerate().for_each(run);
+    }
+    Tensor::from_vec(out_shape, out)
+}
+
+fn dims2(t: &Tensor) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "expected rank-2 tensor, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+fn kernel_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m * k * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            nn_row(&a[i * k..(i + 1) * k], b, row, k, n);
+        });
+    } else {
+        kernel_nn_serial(a, b, out, m, k, n);
+    }
+}
+
+fn kernel_nn_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for (i, row) in out.chunks_mut(n).enumerate().take(m) {
+        nn_row(&a[i * k..(i + 1) * k], b, row, k, n);
+    }
+}
+
+#[inline]
+fn nn_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: usize) {
+    // axpy formulation: out_row += a[i,p] * b[p, :]; contiguous in both
+    // operands, so LLVM vectorises the inner zip.
+    for p in 0..k {
+        let x = a_row[p];
+        if x == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += x * bv;
+        }
+    }
+}
+
+fn kernel_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m * k * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            nt_row(&a[i * k..(i + 1) * k], b, row, k);
+        });
+    } else {
+        kernel_nt_serial(a, b, out, m, k, n);
+    }
+}
+
+fn kernel_nt_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, _n: usize) {
+    for (i, row) in out.chunks_mut(out.len() / m).enumerate().take(m) {
+        nt_row(&a[i * k..(i + 1) * k], b, row, k);
+    }
+}
+
+#[inline]
+fn nt_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize) {
+    for (j, o) in out_row.iter_mut().enumerate() {
+        let b_row = &b[j * k..(j + 1) * k];
+        let mut acc = 0.0f32;
+        for (&x, &y) in a_row.iter().zip(b_row) {
+            acc += x * y;
+        }
+        *o = acc;
+    }
+}
+
+fn kernel_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    // out[i, :] += a[p, i] * b[p, :]. The k loop is outermost so both reads
+    // stay sequential; parallelising would race on `out`, so split over
+    // columns of `a` instead when large.
+    if m * k * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            for p in 0..k {
+                let x = a[p * m + i];
+                if x == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in row.iter_mut().zip(b_row) {
+                    *o += x * bv;
+                }
+            }
+        });
+    } else {
+        kernel_tn_serial(a, b, out, m, k, n);
+    }
+}
+
+fn kernel_tn_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let x = a_row[i];
+            if x == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += x * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng, uniform};
+
+    fn close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        let d = a.max_diff(b);
+        assert!(d <= tol, "max diff {d} > {tol}");
+    }
+
+    #[test]
+    fn nn_matches_naive() {
+        let mut r = rng(10);
+        let a = uniform([7, 5], -1.0, 1.0, &mut r);
+        let b = uniform([5, 9], -1.0, 1.0, &mut r);
+        close(&matmul_nn(&a, &b), &matmul_naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn nt_is_nn_with_transpose() {
+        let mut r = rng(11);
+        let a = uniform([4, 6], -1.0, 1.0, &mut r);
+        let b = uniform([3, 6], -1.0, 1.0, &mut r);
+        close(&matmul_nt(&a, &b), &matmul_nn(&a, &b.transpose2()), 1e-5);
+    }
+
+    #[test]
+    fn tn_is_nn_with_transpose() {
+        let mut r = rng(12);
+        let a = uniform([6, 4], -1.0, 1.0, &mut r);
+        let b = uniform([6, 3], -1.0, 1.0, &mut r);
+        close(&matmul_tn(&a, &b), &matmul_nn(&a.transpose2(), &b), 1e-5);
+    }
+
+    #[test]
+    fn large_parallel_path_matches_naive() {
+        let mut r = rng(13);
+        let a = uniform([64, 48], -1.0, 1.0, &mut r);
+        let b = uniform([48, 40], -1.0, 1.0, &mut r);
+        close(&matmul_nn(&a, &b), &matmul_naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn bmm_runs_each_batch_independently() {
+        let mut r = rng(14);
+        let a = uniform([3, 4, 5], -1.0, 1.0, &mut r);
+        let b = uniform([3, 5, 6], -1.0, 1.0, &mut r);
+        let c = bmm_nn(&a, &b);
+        assert_eq!(c.shape().dims(), &[3, 4, 6]);
+        for i in 0..3 {
+            let ai = Tensor::from_vec([4, 5], a.data()[i * 20..(i + 1) * 20].to_vec());
+            let bi = Tensor::from_vec([5, 6], b.data()[i * 30..(i + 1) * 30].to_vec());
+            let ci = Tensor::from_vec([4, 6], c.data()[i * 24..(i + 1) * 24].to_vec());
+            close(&ci, &matmul_nn(&ai, &bi), 1e-5);
+        }
+    }
+
+    #[test]
+    fn bmm_nt_and_tn_match_2d_kernels() {
+        let mut r = rng(15);
+        let a = uniform([2, 4, 5], -1.0, 1.0, &mut r);
+        let b = uniform([2, 6, 5], -1.0, 1.0, &mut r);
+        let c = bmm_nt(&a, &b);
+        assert_eq!(c.shape().dims(), &[2, 4, 6]);
+        let a0 = Tensor::from_vec([4, 5], a.data()[..20].to_vec());
+        let b0 = Tensor::from_vec([6, 5], b.data()[..30].to_vec());
+        let c0 = Tensor::from_vec([4, 6], c.data()[..24].to_vec());
+        close(&c0, &matmul_nt(&a0, &b0), 1e-5);
+
+        let d = bmm_tn(&a, &uniform([2, 4, 3], -1.0, 1.0, &mut r));
+        assert_eq!(d.shape().dims(), &[2, 5, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_inner_dims_panic() {
+        matmul_nn(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut r = rng(16);
+        let a = uniform([5, 5], -1.0, 1.0, &mut r);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            eye.data_mut()[i * 5 + i] = 1.0;
+        }
+        close(&matmul_nn(&a, &eye), &a, 1e-6);
+        close(&matmul_nn(&eye, &a), &a, 1e-6);
+    }
+}

@@ -1,0 +1,104 @@
+//! Embedding table module.
+
+use crate::init::{self, TensorRng};
+use crate::nn::param::{HasParams, Param, Step};
+use crate::tape::Var;
+
+/// A `[V, d]` lookup table. Row 0 is conventionally the padding id in this
+/// workspace; models mask padded positions explicitly rather than relying on
+/// the pad row staying zero.
+pub struct Embedding {
+    table: Param,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Table initialised with the paper's truncated normal in
+    /// `[-0.01, 0.01]`.
+    pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut TensorRng) -> Self {
+        Embedding {
+            table: Param::new(format!("{name}.table"), init::paper_default([vocab, dim], rng)),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Number of rows (vocabulary size incl. special tokens).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up `ids`, shaping the result `[*batch_dims, dim]`.
+    pub fn forward(&self, step: &mut Step, ids: &[u32], batch_dims: &[usize]) -> Var {
+        let t = self.table.var(step);
+        step.tape.embedding(t, ids, batch_dims)
+    }
+
+    /// The whole table as a var (for scoring against all items).
+    pub fn full_table(&self, step: &mut Step) -> Var {
+        self.table.var(step)
+    }
+
+    /// Direct access to the table parameter (e.g. BPR-MF warm-starting).
+    pub fn table(&self) -> &Param {
+        &self.table
+    }
+
+    /// Mutable access to the table parameter.
+    pub fn table_mut(&mut self) -> &mut Param {
+        &mut self.table
+    }
+}
+
+impl HasParams for Embedding {
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.table);
+    }
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+
+    #[test]
+    fn lookup_shapes() {
+        let mut r = rng(50);
+        let e = Embedding::new("item", 10, 4, &mut r);
+        let mut step = Step::new();
+        let v = e.forward(&mut step, &[1, 2, 3, 4, 5, 6], &[2, 3]);
+        assert_eq!(step.tape.value(v).shape().dims(), &[2, 3, 4]);
+        assert_eq!(e.vocab(), 10);
+        assert_eq!(e.dim(), 4);
+    }
+
+    #[test]
+    fn init_respects_paper_window() {
+        let mut r = rng(51);
+        let e = Embedding::new("item", 100, 8, &mut r);
+        assert!(e.table().value().max_abs() <= 0.01);
+    }
+
+    #[test]
+    fn table_grad_flows_from_scores() {
+        let mut r = rng(52);
+        let e = Embedding::new("item", 5, 3, &mut r);
+        let mut step = Step::new();
+        let x = e.forward(&mut step, &[1, 2], &[2]);
+        let table = e.full_table(&mut step);
+        let scores = step.tape.matmul_nt(x, table);
+        assert_eq!(step.tape.value(scores).shape().dims(), &[2, 5]);
+        let s = step.tape.sum_all(scores);
+        let grads = step.tape.backward(s);
+        assert!(e.table().grad(&step, &grads).is_some());
+    }
+}

@@ -1,0 +1,149 @@
+//! Parameter state dictionaries: extract and restore the trainable state of
+//! any [`HasParams`] model (checkpointing, transfer between model wrappers,
+//! SASRec_BPR-style warm starts across architectures).
+//!
+//! The representation is plain `serde` data, so callers pick the encoding
+//! (JSON, bincode, …) without this crate taking a serialisation dependency.
+
+use serde::{Deserialize, Serialize};
+
+use crate::nn::param::{HasParams, Param};
+use crate::tensor::Tensor;
+
+/// One named parameter's value.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct NamedTensor {
+    /// Parameter name (unique within a model).
+    pub name: String,
+    /// Dimension extents.
+    pub shape: Vec<usize>,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+/// A model's complete trainable state, in visit order.
+pub type StateDict = Vec<NamedTensor>;
+
+/// Extracts the state of `model`.
+pub fn state_dict(model: &impl HasParams) -> StateDict {
+    let mut out = Vec::new();
+    model.visit(&mut |p: &Param| {
+        out.push(NamedTensor {
+            name: p.name().to_string(),
+            shape: p.value().shape().dims().to_vec(),
+            data: p.value().data().to_vec(),
+        });
+    });
+    out
+}
+
+/// Errors from [`load_state_dict`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// The state has no entry for this model parameter.
+    Missing(String),
+    /// Shapes disagree; carries (name, expected, found).
+    ShapeMismatch(String, Vec<usize>, Vec<usize>),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Missing(n) => write!(f, "state dict has no parameter `{n}`"),
+            LoadError::ShapeMismatch(n, want, got) => {
+                write!(f, "parameter `{n}`: model shape {want:?} vs state shape {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Restores `model` from `state`, matching by name. Extra entries in
+/// `state` are ignored; a missing or mis-shaped entry aborts with an error
+/// (the model may be partially updated in that case — reload to recover).
+pub fn load_state_dict(model: &mut impl HasParams, state: &StateDict) -> Result<(), LoadError> {
+    let by_name: std::collections::HashMap<&str, &NamedTensor> =
+        state.iter().map(|t| (t.name.as_str(), t)).collect();
+    let mut result = Ok(());
+    model.visit_mut(&mut |p: &mut Param| {
+        if result.is_err() {
+            return;
+        }
+        let Some(entry) = by_name.get(p.name()) else {
+            result = Err(LoadError::Missing(p.name().to_string()));
+            return;
+        };
+        if entry.shape != p.value().shape().dims() {
+            result = Err(LoadError::ShapeMismatch(
+                p.name().to_string(),
+                p.value().shape().dims().to_vec(),
+                entry.shape.clone(),
+            ));
+            return;
+        }
+        *p.value_mut() = Tensor::from_vec(entry.shape.clone(), entry.data.clone());
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng, uniform};
+    use crate::nn::Linear;
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let mut r = rng(1);
+        let original = Linear::new("l", 3, 2, &mut r);
+        let state = state_dict(&original);
+        assert_eq!(state.len(), 2);
+        assert_eq!(state[0].name, "l.weight");
+
+        let mut other = Linear::new("l", 3, 2, &mut rng(99));
+        load_state_dict(&mut other, &state).unwrap();
+        assert_eq!(state_dict(&other), state);
+    }
+
+    #[test]
+    fn missing_parameter_is_an_error() {
+        let mut r = rng(2);
+        let mut model = Linear::new("l", 2, 2, &mut r);
+        let err = load_state_dict(&mut model, &Vec::new()).unwrap_err();
+        assert_eq!(err, LoadError::Missing("l.weight".into()));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut r = rng(3);
+        let donor = Linear::new("l", 4, 2, &mut r);
+        let mut model = Linear::new("l", 2, 2, &mut r);
+        let err = load_state_dict(&mut model, &state_dict(&donor)).unwrap_err();
+        assert!(matches!(err, LoadError::ShapeMismatch(..)));
+    }
+
+    #[test]
+    fn extra_entries_are_ignored() {
+        let mut r = rng(4);
+        let mut model = Linear::new("l", 2, 2, &mut r);
+        let mut state = state_dict(&model);
+        state.push(NamedTensor { name: "ghost".into(), shape: vec![1], data: vec![0.0] });
+        assert!(load_state_dict(&mut model, &state).is_ok());
+    }
+
+    #[test]
+    fn loaded_values_take_effect_in_forward() {
+        let mut r = rng(5);
+        let a = Linear::with_options("l", 2, 2, false, &mut r);
+        let mut b = Linear::with_options("l", 2, 2, false, &mut rng(6));
+        load_state_dict(&mut b, &state_dict(&a)).unwrap();
+        let run = |lin: &Linear| {
+            let mut step = crate::nn::Step::new();
+            let x = step.tape.leaf(uniform([1, 2], -1.0, 1.0, &mut rng(7)));
+            let y = lin.forward(&mut step, x);
+            step.tape.value(y).data().to_vec()
+        };
+        assert_eq!(run(&a), run(&b));
+    }
+}

@@ -1,0 +1,140 @@
+//! Pointwise nonlinearities with fused backward passes.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Rectified linear unit, `max(0, x)`. The subgradient at 0 is 0.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let xv = self.value(x).clone();
+        let out = xv.map(|v| v.max(0.0));
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip_with(&xv, |gv, v| if v > 0.0 { gv } else { 0.0 })]
+            })),
+        )
+    }
+
+    /// Logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`, computed branchlessly in a
+    /// numerically stable form. Backward uses `σ'(x) = σ(x)(1-σ(x))`.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let out = self.value(x).map(stable_sigmoid);
+        let y = out.clone();
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip_with(&y, |gv, yv| gv * yv * (1.0 - yv))]
+            })),
+        )
+    }
+
+    /// Hyperbolic tangent. Backward uses `tanh'(x) = 1 - tanh²(x)`.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let out = self.value(x).map(f32::tanh);
+        let y = out.clone();
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip_with(&y, |gv, yv| gv * (1.0 - yv * yv))]
+            })),
+        )
+    }
+
+    /// Softplus `ln(1 + e^x)`, the building block of the numerically stable
+    /// BCE/BPR losses: `-log σ(x) = softplus(-x)`. Stable for large |x|.
+    pub fn softplus(&mut self, x: Var) -> Var {
+        let xv = self.value(x).clone();
+        let out = xv.map(stable_softplus);
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g: &Tensor| {
+                // d/dx softplus = sigmoid(x)
+                vec![g.zip_with(&xv, |gv, v| gv * stable_sigmoid(v))]
+            })),
+        )
+    }
+}
+
+/// `σ(x)` without overflow for large negative x.
+pub(crate) fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `ln(1 + e^x)` without overflow for large positive x.
+pub(crate) fn stable_softplus(x: f32) -> f32 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_of(f: impl Fn(&mut Tape, Var) -> Var, xs: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec([xs.len()], xs.to_vec()));
+        let y = f(&mut t, x);
+        let values = t.value(y).data().to_vec();
+        let s = t.sum_all(y);
+        let g = t.backward(s);
+        (values, g.get(x).unwrap().data().to_vec())
+    }
+
+    #[test]
+    fn relu_clamps_and_gates_gradient() {
+        let (v, g) = grad_of(|t, x| t.relu(x), &[-2.0, 0.0, 3.0]);
+        assert_eq!(v, vec![0.0, 0.0, 3.0]);
+        assert_eq!(g, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        let (v, g) = grad_of(|t, x| t.sigmoid(x), &[-100.0, 0.0, 100.0]);
+        assert!(v[0] >= 0.0 && v[0] < 1e-30);
+        assert!((v[1] - 0.5).abs() < 1e-6);
+        assert!((v[2] - 1.0).abs() < 1e-6);
+        assert!(g.iter().all(|x| x.is_finite()));
+        assert!((g[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_identity() {
+        let (v, g) = grad_of(|t, x| t.tanh(x), &[0.5]);
+        let y = 0.5f32.tanh();
+        assert!((v[0] - y).abs() < 1e-6);
+        assert!((g[0] - (1.0 - y * y)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softplus_is_stable_and_monotone() {
+        let (v, g) = grad_of(|t, x| t.softplus(x), &[-90.0, 0.0, 90.0]);
+        assert!(v[0] >= 0.0 && v[0] < 1e-30);
+        assert!((v[1] - 2.0f32.ln()).abs() < 1e-6);
+        assert!((v[2] - 90.0).abs() < 1e-3);
+        assert!((g[1] - 0.5).abs() < 1e-6);
+        assert!(g.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn bce_identity_softplus_of_negated_logit() {
+        // -log σ(x) == softplus(-x)
+        for &x in &[-3.0f32, -0.1, 0.0, 0.7, 5.0] {
+            let lhs = -stable_sigmoid(x).ln();
+            let rhs = stable_softplus(-x);
+            assert!((lhs - rhs).abs() < 1e-5, "x={x}: {lhs} vs {rhs}");
+        }
+    }
+}

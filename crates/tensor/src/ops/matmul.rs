@@ -1,0 +1,184 @@
+//! Matrix products and shape plumbing on the tape.
+//!
+//! Backward passes use the transposed kernels from [`crate::linalg`]
+//! directly, never materialising a transposed tensor:
+//!
+//! * `C = A·B`  ⇒ `dA = dC·Bᵀ`, `dB = Aᵀ·dC`
+//! * `C = A·Bᵀ` ⇒ `dA = dC·B`,  `dB = dCᵀ·A`
+
+use crate::linalg;
+use crate::shape::Shape;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// 2-D matrix product `[m,k]·[k,n] -> [m,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let out = linalg::matmul_nn(&av, &bv);
+        self.push(
+            out,
+            vec![a, b],
+            Some(Box::new(move |g: &Tensor| {
+                vec![linalg::matmul_nt(g, &bv), linalg::matmul_tn(&av, g)]
+            })),
+        )
+    }
+
+    /// 2-D product against a transposed right operand:
+    /// `[m,k]·([n,k])ᵀ -> [m,n]`. This is the scoring kernel
+    /// (`user_repr · item_embeddingᵀ`).
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let out = linalg::matmul_nt(&av, &bv);
+        self.push(
+            out,
+            vec![a, b],
+            Some(Box::new(move |g: &Tensor| {
+                vec![linalg::matmul_nn(g, &bv), linalg::matmul_tn(g, &av)]
+            })),
+        )
+    }
+
+    /// Batched matrix product over identical leading dims:
+    /// `[..,m,k]·[..,k,n] -> [..,m,n]` (attention `softmax·V`).
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let out = linalg::bmm_nn(&av, &bv);
+        self.push(
+            out,
+            vec![a, b],
+            Some(Box::new(move |g: &Tensor| {
+                vec![linalg::bmm_nt(g, &bv), linalg::bmm_tn(&av, g)]
+            })),
+        )
+    }
+
+    /// Batched product against transposed right operand:
+    /// `[..,m,k]·[..,n,k] -> [..,m,n]` (attention `Q·Kᵀ`).
+    pub fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let out = linalg::bmm_nt(&av, &bv);
+        self.push(
+            out,
+            vec![a, b],
+            Some(Box::new(move |g: &Tensor| {
+                vec![linalg::bmm_nn(g, &bv), linalg::bmm_tn(g, &av)]
+            })),
+        )
+    }
+
+    /// Reinterprets the value under a new shape (same element count); the
+    /// gradient is reshaped back. Free: storage is shared.
+    pub fn reshape(&mut self, x: Var, shape: impl Into<Shape>) -> Var {
+        let shape = shape.into();
+        let old = self.value(x).shape().clone();
+        let out = self.value(x).reshape(shape);
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g: &Tensor| vec![g.reshape(old.clone())])),
+        )
+    }
+
+    /// Applies a `[d_in, d_out]` weight to the trailing dimension of any
+    /// tensor shaped `[..., d_in]`, flattening leading dims into rows.
+    pub fn matmul_last(&mut self, x: Var, w: Var) -> Var {
+        let xs = self.value(x).shape().clone();
+        let d_in = xs.last_dim();
+        let d_out = self.value(w).shape().dim(1);
+        let rows = xs.rows();
+        let flat = self.reshape(x, [rows, d_in]);
+        let y = self.matmul(flat, w);
+        let mut dims = xs.dims().to_vec();
+        *dims.last_mut().expect("rank >= 1") = d_out;
+        self.reshape(y, dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng, uniform};
+
+    #[test]
+    fn matmul_forward_matches_linalg() {
+        let mut r = rng(20);
+        let a = uniform([3, 4], -1.0, 1.0, &mut r);
+        let b = uniform([4, 5], -1.0, 1.0, &mut r);
+        let mut t = Tape::new();
+        let (va, vb) = (t.leaf(a.clone()), t.leaf(b.clone()));
+        let c = t.matmul(va, vb);
+        assert_eq!(t.value(c), &linalg::matmul_nn(&a, &b));
+    }
+
+    #[test]
+    fn matmul_gradients_match_manual_formula() {
+        let mut r = rng(21);
+        let a = uniform([2, 3], -1.0, 1.0, &mut r);
+        let b = uniform([3, 2], -1.0, 1.0, &mut r);
+        let mut t = Tape::new();
+        let (va, vb) = (t.leaf(a.clone()), t.leaf(b.clone()));
+        let c = t.matmul(va, vb);
+        let s = t.sum_all(c);
+        let g = t.backward(s);
+        // dC = ones, so dA = ones·Bᵀ and dB = Aᵀ·ones.
+        let ones = Tensor::ones([2, 2]);
+        assert!(g.get(va).unwrap().max_diff(&linalg::matmul_nt(&ones, &b)) < 1e-6);
+        assert!(g.get(vb).unwrap().max_diff(&linalg::matmul_tn(&a, &ones)) < 1e-6);
+    }
+
+    #[test]
+    fn nt_variant_agrees_with_explicit_transpose() {
+        let mut r = rng(22);
+        let a = uniform([3, 4], -1.0, 1.0, &mut r);
+        let b = uniform([5, 4], -1.0, 1.0, &mut r);
+        let mut t = Tape::new();
+        let (va, vb) = (t.leaf(a.clone()), t.leaf(b.clone()));
+        let c = t.matmul_nt(va, vb);
+        assert!(t.value(c).max_diff(&linalg::matmul_nn(&a, &b.transpose2())) < 1e-6);
+    }
+
+    #[test]
+    fn bmm_gradients_flow_to_both_operands() {
+        let mut r = rng(23);
+        let a = uniform([2, 3, 4], -1.0, 1.0, &mut r);
+        let b = uniform([2, 4, 3], -1.0, 1.0, &mut r);
+        let mut t = Tape::new();
+        let (va, vb) = (t.leaf(a), t.leaf(b));
+        let c = t.bmm(va, vb);
+        let s = t.sum_all(c);
+        let g = t.backward(s);
+        assert_eq!(g.get(va).unwrap().shape().dims(), &[2, 3, 4]);
+        assert_eq!(g.get(vb).unwrap().shape().dims(), &[2, 4, 3]);
+    }
+
+    #[test]
+    fn reshape_roundtrips_gradient() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec([2, 3], vec![1.0; 6]));
+        let y = t.reshape(x, [3, 2]);
+        let s = t.sum_all(y);
+        let g = t.backward(s);
+        assert_eq!(g.get(x).unwrap().shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn matmul_last_handles_rank3() {
+        let mut r = rng(24);
+        let x = uniform([2, 3, 4], -1.0, 1.0, &mut r);
+        let w = uniform([4, 5], -1.0, 1.0, &mut r);
+        let mut t = Tape::new();
+        let (vx, vw) = (t.leaf(x), t.leaf(w));
+        let y = t.matmul_last(vx, vw);
+        assert_eq!(t.value(y).shape().dims(), &[2, 3, 5]);
+        let s = t.sum_all(y);
+        let g = t.backward(s);
+        assert_eq!(g.get(vw).unwrap().shape().dims(), &[4, 5]);
+        assert_eq!(g.get(vx).unwrap().shape().dims(), &[2, 3, 4]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Normalisation ops: LayerNorm, row L2-normalisation, dropout.
+
+use crate::init::TensorRng;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+impl Tape {
+    /// LayerNorm's normalisation core over the last dimension:
+    /// `y = (x - μ) / sqrt(var + eps)` per row. The learnable gain/shift are
+    /// composed outside via [`Tape::mul_bias`] / [`Tape::add_bias`].
+    ///
+    /// Backward (per row, `σ = sqrt(var + eps)`):
+    /// `dx = (g - mean(g) - y·mean(g∘y)) / σ`.
+    pub fn layernorm(&mut self, x: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let d = xv.shape().last_dim();
+        assert!(d > 0, "layernorm over empty dimension");
+        let mut out = xv.clone();
+        let mut inv_sigmas = Vec::with_capacity(xv.shape().rows());
+        for row in out.data_mut().chunks_mut(d) {
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_sigma = 1.0 / (var + eps).sqrt();
+            inv_sigmas.push(inv_sigma);
+            for v in row.iter_mut() {
+                *v = (*v - mean) * inv_sigma;
+            }
+        }
+        let y = out.clone();
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dx = g.clone();
+                let rows = dx.data_mut().chunks_mut(d);
+                for ((grow, yrow), &inv_sigma) in
+                    rows.zip(y.data().chunks(d)).zip(&inv_sigmas)
+                {
+                    let gmean = grow.iter().sum::<f32>() / d as f32;
+                    let gymean = grow
+                        .iter()
+                        .zip(yrow)
+                        .map(|(&gv, &yv)| gv * yv)
+                        .sum::<f32>()
+                        / d as f32;
+                    for (gv, &yv) in grow.iter_mut().zip(yrow) {
+                        *gv = (*gv - gmean - yv * gymean) * inv_sigma;
+                    }
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// L2-normalises each length-`d` row: `y = x / max(‖x‖, eps)`. Used to
+    /// turn projected views into unit vectors so the NT-Xent similarity is a
+    /// cosine (Eq. 3 of the paper).
+    ///
+    /// Backward: `dx = (g - y (y·g)) / ‖x‖`.
+    pub fn normalize_rows(&mut self, x: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let d = xv.shape().last_dim();
+        let mut out = xv.clone();
+        let mut inv_norms = Vec::with_capacity(xv.shape().rows());
+        for row in out.data_mut().chunks_mut(d) {
+            let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(eps);
+            let inv = 1.0 / norm;
+            inv_norms.push(inv);
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        let y = out.clone();
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dx = g.clone();
+                for ((grow, yrow), &inv) in dx
+                    .data_mut()
+                    .chunks_mut(d)
+                    .zip(y.data().chunks(d))
+                    .zip(&inv_norms)
+                {
+                    let dot: f32 = grow.iter().zip(yrow).map(|(&gv, &yv)| gv * yv).sum();
+                    for (gv, &yv) in grow.iter_mut().zip(yrow) {
+                        *gv = (*gv - yv * dot) * inv;
+                    }
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Inverted dropout: during training each element is zeroed with
+    /// probability `p` and survivors are scaled by `1/(1-p)` so the expected
+    /// activation is unchanged; at inference (`training == false`) it is the
+    /// identity.
+    pub fn dropout(&mut self, x: Var, p: f32, training: bool, rng: &mut TensorRng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout rate {p} outside [0, 1)");
+        if !training || p == 0.0 {
+            // Identity node keeps the graph uniform between modes.
+            let out = self.value(x).clone();
+            return self.push(out, vec![x], Some(Box::new(|g: &Tensor| vec![g.clone()])));
+        }
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let xv = self.value(x);
+        let mask: Vec<f32> = (0..xv.len())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(xv.shape().clone(), mask);
+        let out = xv.mul(&mask);
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g: &Tensor| vec![g.mul(&mask)])),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+
+    #[test]
+    fn layernorm_rows_have_zero_mean_unit_var() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec([2, 4], vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0]));
+        let y = t.layernorm(x, 1e-8);
+        for row in t.value(y).data().chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layernorm_gradient_is_orthogonal_to_shifts() {
+        // y is invariant to adding a constant to x, so the gradient must sum
+        // to ~0 per row.
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec([1, 3], vec![0.2, -1.0, 2.2]));
+        let y = t.layernorm(x, 1e-8);
+        let w = Tensor::from_vec([1, 3], vec![3.0, -1.0, 2.0]);
+        let l = t.mul_const(y, &w);
+        let s = t.sum_all(l);
+        let g = t.backward(s);
+        let sum: f32 = g.get(x).unwrap().data().iter().sum();
+        assert!(sum.abs() < 1e-5, "gradient sum {sum}");
+    }
+
+    #[test]
+    fn normalized_rows_are_unit_length() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec([2, 3], vec![3.0, 0.0, 4.0, 1.0, 1.0, 1.0]));
+        let y = t.normalize_rows(x, 1e-12);
+        for row in t.value(y).data().chunks(3) {
+            let n: f32 = row.iter().map(|&v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn normalize_gradient_is_tangent() {
+        // y has constant norm, so dL/dx must be orthogonal to y... projected
+        // through 1/‖x‖; check y·dx ≈ 0.
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec([1, 3], vec![1.0, 2.0, -0.5]));
+        let y = t.normalize_rows(x, 1e-12);
+        let w = Tensor::from_vec([1, 3], vec![0.3, -1.2, 0.9]);
+        let l = t.mul_const(y, &w);
+        let s = t.sum_all(l);
+        let g = t.backward(s);
+        let yv = t.value(y).data().to_vec();
+        let dot: f32 = yv.iter().zip(g.get(x).unwrap().data()).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 1e-5, "y·dx = {dot}");
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut r = rng(30);
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]));
+        let y = t.dropout(x, 0.5, false, &mut r);
+        assert_eq!(t.value(y).data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dropout_training_zeroes_and_rescales() {
+        let mut r = rng(31);
+        let mut t = Tape::new();
+        let n = 10_000;
+        let x = t.leaf(Tensor::ones([n]));
+        let y = t.dropout(x, 0.25, true, &mut r);
+        let v = t.value(y);
+        let zeros = v.data().iter().filter(|&&e| e == 0.0).count();
+        let frac = zeros as f32 / n as f32;
+        assert!((frac - 0.25).abs() < 0.02, "zero fraction {frac}");
+        // survivors are scaled by 4/3
+        let survivor = v.data().iter().find(|&&e| e != 0.0).unwrap();
+        assert!((survivor - 4.0 / 3.0).abs() < 1e-6);
+        // expectation preserved
+        assert!((v.mean() - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn dropout_gradient_uses_same_mask() {
+        let mut r = rng(32);
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::ones([64]));
+        let y = t.dropout(x, 0.5, true, &mut r);
+        let s = t.sum_all(y);
+        let fwd = t.value(y).data().to_vec();
+        let g = t.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &fwd[..]);
+    }
+}

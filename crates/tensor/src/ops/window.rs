@@ -1,0 +1,176 @@
+//! Sliding-window ops for convolutional sequence models (Caser).
+//!
+//! Caser treats the embedded sequence `[L, d]` as an "image" and applies
+//! horizontal filters `[h, d]` and vertical filters `[L, 1]`. On top of the
+//! existing matmuls, that needs: im2col-style window unfolding, a max over
+//! the time axis, and a transpose of the trailing two dims.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Unfolds sliding windows of height `h` along the time axis:
+    /// `[B, T, d] -> [B, T-h+1, h*d]`, each output row the concatenation of
+    /// `h` consecutive timesteps (im2col). A matmul of the result against a
+    /// `[h*d, n]` filter bank is exactly an `n`-filter horizontal
+    /// convolution.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= h <= T`.
+    pub fn unfold_windows(&mut self, x: Var, h: usize) -> Var {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 3, "unfold expects [B,T,d], got {}", xv.shape());
+        let (b, t, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+        assert!(h >= 1 && h <= t, "window height {h} outside 1..={t}");
+        let w = t - h + 1;
+        let mut out = Vec::with_capacity(b * w * h * d);
+        for bi in 0..b {
+            for wi in 0..w {
+                let start = (bi * t + wi) * d;
+                out.extend_from_slice(&xv.data()[start..start + h * d]);
+            }
+        }
+        self.push(
+            Tensor::from_vec([b, w, h * d], out),
+            vec![x],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dx = vec![0.0f32; b * t * d];
+                for bi in 0..b {
+                    for wi in 0..w {
+                        let src = (bi * w + wi) * h * d;
+                        let dst = (bi * t + wi) * d;
+                        for j in 0..h * d {
+                            dx[dst + j] += g.data()[src + j];
+                        }
+                    }
+                }
+                vec![Tensor::from_vec([b, t, d], dx)]
+            })),
+        )
+    }
+
+    /// Max over the middle (time) axis: `[B, T, n] -> [B, n]` (the max-pool
+    /// of Caser's horizontal convolutions). Backward routes the gradient to
+    /// the argmax position (first maximum on ties).
+    pub fn max_over_dim1(&mut self, x: Var) -> Var {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 3, "max_over_dim1 expects [B,T,n], got {}", xv.shape());
+        let (b, t, n) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+        assert!(t > 0, "empty time axis");
+        let mut out = vec![f32::NEG_INFINITY; b * n];
+        let mut arg = vec![0usize; b * n];
+        for bi in 0..b {
+            for ti in 0..t {
+                for ni in 0..n {
+                    let v = xv.data()[(bi * t + ti) * n + ni];
+                    if v > out[bi * n + ni] {
+                        out[bi * n + ni] = v;
+                        arg[bi * n + ni] = ti;
+                    }
+                }
+            }
+        }
+        self.push(
+            Tensor::from_vec([b, n], out),
+            vec![x],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dx = vec![0.0f32; b * t * n];
+                for bi in 0..b {
+                    for ni in 0..n {
+                        let ti = arg[bi * n + ni];
+                        dx[(bi * t + ti) * n + ni] += g.data()[bi * n + ni];
+                    }
+                }
+                vec![Tensor::from_vec([b, t, n], dx)]
+            })),
+        )
+    }
+
+    /// Transposes the trailing two dims: `[B, T, d] -> [B, d, T]` (Caser's
+    /// vertical convolution is a matmul on this layout).
+    pub fn transpose12(&mut self, x: Var) -> Var {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 3, "transpose12 expects rank 3, got {}", xv.shape());
+        let (b, t, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+        let out = transpose12_raw(xv, b, t, d);
+        self.push(
+            out,
+            vec![x],
+            Some(Box::new(move |g: &Tensor| {
+                vec![transpose12_raw(g, b, d, t)]
+            })),
+        )
+    }
+}
+
+fn transpose12_raw(x: &Tensor, b: usize, t: usize, d: usize) -> Tensor {
+    let mut out = vec![0.0f32; b * t * d];
+    let xd = x.data();
+    for bi in 0..b {
+        for ti in 0..t {
+            for di in 0..d {
+                out[(bi * d + di) * t + ti] = xd[(bi * t + ti) * d + di];
+            }
+        }
+    }
+    Tensor::from_vec([b, d, t], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfold_concatenates_consecutive_steps() {
+        let mut tape = Tape::new();
+        // B=1, T=3, d=2: rows [0,1],[2,3],[4,5]
+        let x = tape.leaf(Tensor::from_vec([1, 3, 2], (0..6).map(|i| i as f32).collect()));
+        let y = tape.unfold_windows(x, 2);
+        assert_eq!(tape.value(y).shape().dims(), &[1, 2, 4]);
+        assert_eq!(tape.value(y).data(), &[0.0, 1.0, 2.0, 3.0, 2.0, 3.0, 4.0, 5.0]);
+        // middle timestep appears in 2 windows → gradient 2
+        let s = tape.sum_all(y);
+        let g = tape.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn unfold_h1_is_identity_shaped() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec([1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]));
+        let y = tape.unfold_windows(x, 1);
+        assert_eq!(tape.value(y).shape().dims(), &[1, 2, 2]);
+        assert_eq!(tape.value(y).data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn max_pool_routes_gradient_to_argmax() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(
+            [1, 3, 2],
+            vec![1.0, 9.0, 5.0, 2.0, 3.0, 4.0],
+        ));
+        let y = tape.max_over_dim1(x);
+        assert_eq!(tape.value(y).data(), &[5.0, 9.0]);
+        let s = tape.sum_all(y);
+        let g = tape.backward(s);
+        assert_eq!(
+            g.get(x).unwrap().data(),
+            &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn transpose12_roundtrips() {
+        let mut tape = Tape::new();
+        let data: Vec<f32> = (0..2 * 3 * 2).map(|i| i as f32).collect();
+        let x = tape.leaf(Tensor::from_vec([2, 3, 2], data.clone()));
+        let y = tape.transpose12(x);
+        assert_eq!(tape.value(y).shape().dims(), &[2, 2, 3]);
+        let z = tape.transpose12(y);
+        assert_eq!(tape.value(z).data(), &data[..]);
+        let s = tape.sum_all(z);
+        let g = tape.backward(s);
+        assert_eq!(g.get(x).unwrap().data(), &vec![1.0; 12][..]);
+    }
+}

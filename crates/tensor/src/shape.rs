@@ -1,0 +1,183 @@
+//! Tensor shapes and row-major index arithmetic.
+//!
+//! Every [`crate::Tensor`] in this crate is dense, row-major and contiguous;
+//! a [`Shape`] is therefore just the list of dimension extents. Keeping the
+//! layout fixed removes an entire class of stride bugs and lets the hot
+//! kernels (`matmul`, softmax, layernorm) iterate over flat slices.
+
+use std::fmt;
+
+/// The extents of a dense, row-major tensor.
+///
+/// Rank 0 (scalar) through rank 4 are exercised by this crate; nothing limits
+/// higher ranks, but batched matmul treats all leading dimensions as batch.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (1 for scalars).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the shape contains zero elements (any extent is 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent of the last dimension.
+    ///
+    /// # Panics
+    /// Panics on scalars.
+    pub fn last_dim(&self) -> usize {
+        *self.0.last().expect("scalar shape has no last dimension")
+    }
+
+    /// Number of rows when the tensor is viewed as a `(len / last_dim) x
+    /// last_dim` matrix. This is the iteration count for all "per last axis"
+    /// kernels (softmax, layernorm, normalize).
+    ///
+    /// # Panics
+    /// Panics on scalars.
+    pub fn rows(&self) -> usize {
+        self.len() / self.last_dim()
+    }
+
+    /// Splits an at-least-2D shape into `(batch, m, n)` where `m, n` are the
+    /// trailing two dimensions and `batch` is the product of the rest.
+    ///
+    /// # Panics
+    /// Panics if rank < 2.
+    pub fn as_batched_matrix(&self) -> (usize, usize, usize) {
+        assert!(self.rank() >= 2, "need rank >= 2, got {self}");
+        let n = self.0[self.rank() - 1];
+        let m = self.0[self.rank() - 2];
+        (self.len() / (m * n), m, n)
+    }
+
+    /// Returns the shape with the trailing two dimensions replaced.
+    ///
+    /// # Panics
+    /// Panics if rank < 2.
+    pub fn with_matrix_dims(&self, m: usize, n: usize) -> Shape {
+        assert!(self.rank() >= 2, "need rank >= 2, got {self}");
+        let mut dims = self.0.clone();
+        let r = dims.len();
+        dims[r - 2] = m;
+        dims[r - 1] = n;
+        Shape(dims)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.last_dim(), 4);
+        assert_eq!(s.rows(), 6);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_extent_is_empty() {
+        assert!(Shape::from([3, 0, 2]).is_empty());
+    }
+
+    #[test]
+    fn batched_matrix_views() {
+        let s = Shape::from([5, 2, 3, 4]);
+        assert_eq!(s.as_batched_matrix(), (10, 3, 4));
+        assert_eq!(s.with_matrix_dims(7, 9).dims(), &[5, 2, 7, 9]);
+        let m = Shape::from([3, 4]);
+        assert_eq!(m.as_batched_matrix(), (1, 3, 4));
+    }
+
+    #[test]
+    fn display_formats_like_a_list() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    #[should_panic]
+    fn batched_matrix_requires_rank_2() {
+        Shape::from([4]).as_batched_matrix();
+    }
+}

@@ -1,0 +1,49 @@
+//! E-commerce scenario (the paper's motivating workload): compare the
+//! sequential recommenders head-to-head on a Beauty-like catalog and print
+//! a miniature Table 2.
+//!
+//! ```text
+//! cargo run --release --example compare_baselines
+//! ```
+
+use cp4rec_repro::cl4srec::augment::{AugmentationSet, Mask};
+use cp4rec_repro::cl4srec::model::{Cl4sRec, Cl4sRecConfig, PretrainOptions};
+use cp4rec_repro::data::synthetic::{generate_dataset, SyntheticConfig};
+use cp4rec_repro::data::Split;
+use cp4rec_repro::eval::{evaluate, DatasetResults, EvalOptions, EvalTarget};
+use cp4rec_repro::models::{EncoderConfig, Pop, SasRec, TrainOptions};
+
+fn main() {
+    let dataset = generate_dataset(&SyntheticConfig::beauty(0.015));
+    let split = Split::leave_one_out(&dataset);
+    println!(
+        "beauty-like catalog: {} users, {} items",
+        split.num_users(),
+        dataset.num_items()
+    );
+    let opts = TrainOptions { epochs: 10, valid_probe_users: 150, ..Default::default() };
+    let eval_opts = EvalOptions::default();
+    let mut results = DatasetResults::new("beauty (scale 0.015)");
+
+    // Non-personalised floor.
+    let pop = Pop::fit(&split);
+    results.push("Pop", evaluate(&pop, &split, EvalTarget::Test, &eval_opts));
+
+    // The strongest baseline.
+    let mut sasrec = SasRec::new(EncoderConfig::small(dataset.num_items()), 42);
+    sasrec.fit(&split, &opts);
+    results.push("SASRec", evaluate(&sasrec, &split, EvalTarget::Test, &eval_opts));
+
+    // The paper's model: contrastive pre-training on top of the same
+    // encoder, same fine-tuning budget.
+    let mut cl = Cl4sRec::new(Cl4sRecConfig::small(dataset.num_items()), 42);
+    let augs = AugmentationSet::single(Mask { gamma: 0.5, mask_token: cl.mask_token() });
+    cl.fit(&split, &augs, &PretrainOptions { epochs: 6, ..Default::default() }, &opts);
+    results.push("CL4SRec", evaluate(&cl, &split, EvalTarget::Test, &eval_opts));
+
+    println!("\n{}", results.to_markdown(&["SASRec"]));
+    let imp = results
+        .improvement("SASRec", "CL4SRec", "HR", 10)
+        .unwrap_or(f64::NAN);
+    println!("CL4SRec improves HR@10 over SASRec by {imp:+.1}% (paper: +8.16% on average)");
+}

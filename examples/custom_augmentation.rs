@@ -1,0 +1,96 @@
+//! Extending CL4SRec with a custom augmentation operator.
+//!
+//! The paper's framework is agnostic to the choice of operators (§3.2.1);
+//! follow-up work (e.g. CoSeRec) added *item substitution*. This example
+//! implements substitution — replace a fraction of items with co-occurring
+//! ones — as a user-defined [`Augmentation`] and pre-trains with it.
+//!
+//! ```text
+//! cargo run --release --example custom_augmentation
+//! ```
+
+use cp4rec_repro::cl4srec::augment::{Augmentation, AugmentationSet, Crop};
+use cp4rec_repro::cl4srec::model::{Cl4sRec, Cl4sRecConfig, PretrainOptions};
+use cp4rec_repro::data::synthetic::{generate_dataset, SyntheticConfig};
+use cp4rec_repro::data::{Dataset, Split};
+use cp4rec_repro::eval::{evaluate, EvalOptions, EvalTarget};
+use cp4rec_repro::models::TrainOptions;
+use cp4rec_repro::tensor::init::TensorRng;
+use rand::Rng;
+
+/// Item substitution: replace each item, with probability `rho`, by the item
+/// that most often directly follows or precedes it in the training corpus —
+/// a correlation-aware perturbation that keeps the sequence semantics.
+struct Substitute {
+    rho: f64,
+    /// `best_neighbour[i]` = most frequent adjacent item of `i` (or `i`).
+    best_neighbour: Vec<u32>,
+}
+
+impl Substitute {
+    fn fit(dataset: &Dataset, rho: f64) -> Self {
+        let n = dataset.num_items() + 1;
+        // count adjacency (undirected) and keep the argmax per item
+        let mut counts = vec![std::collections::HashMap::<u32, u32>::new(); n];
+        for seq in dataset.sequences() {
+            for w in seq.windows(2) {
+                *counts[w[0] as usize].entry(w[1]).or_default() += 1;
+                *counts[w[1] as usize].entry(w[0]).or_default() += 1;
+            }
+        }
+        let best_neighbour = (0..n as u32)
+            .map(|i| {
+                counts[i as usize]
+                    .iter()
+                    .max_by_key(|(_, &c)| c)
+                    .map_or(i, |(&j, _)| j)
+            })
+            .collect();
+        Substitute { rho, best_neighbour }
+    }
+}
+
+impl Augmentation for Substitute {
+    fn apply(&self, seq: &[u32], rng: &mut TensorRng) -> Vec<u32> {
+        seq.iter()
+            .map(|&v| {
+                if rng.gen::<f64>() < self.rho {
+                    self.best_neighbour[v as usize]
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+    fn name(&self) -> &'static str {
+        "substitute"
+    }
+}
+
+fn main() {
+    let dataset = generate_dataset(&SyntheticConfig::toys(0.015));
+    let split = Split::leave_one_out(&dataset);
+    println!("toys-like catalog: {} users, {} items", split.num_users(), dataset.num_items());
+
+    // Pre-train with crop + the custom substitution operator.
+    let substitute = Substitute::fit(&dataset, 0.3);
+    let augs = AugmentationSet::pair(Crop { eta: 0.6 }, substitute);
+    println!("augmentation set: {:?}", augs.names());
+
+    let mut model = Cl4sRec::new(Cl4sRecConfig::small(dataset.num_items()), 7);
+    let (pre, fine) = model.fit(
+        &split,
+        &augs,
+        &PretrainOptions { epochs: 6, verbose: true, ..Default::default() },
+        &TrainOptions { epochs: 10, valid_probe_users: 150, ..Default::default() },
+    );
+    println!(
+        "pre-trained {} epochs (loss {:.3} -> {:.3}), fine-tuned {} epochs",
+        pre.losses.len(),
+        pre.losses.first().unwrap(),
+        pre.losses.last().unwrap(),
+        fine.epochs_run()
+    );
+    let m = evaluate(&model, &split, EvalTarget::Test, &EvalOptions::default());
+    println!("test: HR@10 = {:.4}, NDCG@10 = {:.4}", m.hr_at(10), m.ndcg_at(10));
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper at laptop scale.
+# Usage: bash run_experiments.sh [scale_table2] [scale_figs]
+set -e
+cd "$(dirname "$0")"
+ST2=${1:-0.03}
+SFIG=${2:-0.02}
+mkdir -p results
+BIN=target/release
+$BIN/table1 --scale $ST2 --out results/table1.json | tee results/table1.md
+$BIN/table2 --scale $ST2 --epochs 18 --pretrain-epochs 10 --out results/table2.json | tee results/table2.md
+$BIN/fig4 --scale $SFIG --epochs 14 --pretrain-epochs 8 --datasets beauty,yelp --out results/fig4.json | tee results/fig4.md
+$BIN/fig5 --scale $SFIG --epochs 14 --pretrain-epochs 8 --out results/fig5.json | tee results/fig5.md
+$BIN/fig6 --scale $SFIG --epochs 14 --pretrain-epochs 8 --out results/fig6.json | tee results/fig6.md
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Figures 4-6 at reduced scale (see run_experiments.sh for the full version).
+set -e
+cd "$(dirname "$0")"
+S=${1:-0.015}
+E=${2:-10}
+P=${3:-6}
+BIN=target/release
+$BIN/fig4 --scale $S --epochs $E --pretrain-epochs $P --datasets beauty,yelp --out results/fig4.json | tee results/fig4.md
+$BIN/fig5 --scale $S --epochs $E --pretrain-epochs $P --out results/fig5.json | tee results/fig5.md
+$BIN/fig6 --scale $S --epochs $E --pretrain-epochs $P --out results/fig6.json | tee results/fig6.md
+echo ALL_FIGS_DONE

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Inserts measured figure results into EXPERIMENTS.md placeholders."""
+import re, pathlib
+root = pathlib.Path('/root/repo')
+exp = (root/'EXPERIMENTS.md').read_text()
+
+def body(md_path, drop_first_heading=True):
+    text = (root/'results'/md_path).read_text()
+    lines = text.splitlines()
+    if drop_first_heading and lines and lines[0].startswith('## '):
+        lines = lines[1:]
+    return '\n'.join(l for l in lines).strip()
+
+subs = {
+    '<!-- FIG4_RESULTS -->': ('fig4.md',),
+    '<!-- FIG5_RESULTS -->': ('fig5.md',),
+    '<!-- FIG6_RESULTS -->': ('fig6.md',),
+}
+for marker, (path,) in subs.items():
+    p = root/'results'/path
+    if p.exists() and marker in exp:
+        exp = exp.replace(marker, body(path))
+        print(f'filled {marker} from {path}')
+    else:
+        print(f'skipped {marker} (missing {path})')
+(root/'EXPERIMENTS.md').write_text(exp)

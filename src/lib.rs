@@ -1,0 +1,8 @@
+//! Workspace root crate: re-exports the sub-crates so examples and
+//! integration tests can use a single import root.
+
+pub use cl4srec;
+pub use seqrec_data as data;
+pub use seqrec_eval as eval;
+pub use seqrec_models as models;
+pub use seqrec_tensor as tensor;

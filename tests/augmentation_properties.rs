@@ -1,0 +1,98 @@
+//! Property-based tests on the paper's augmentation operators (Eq. 4-6):
+//! structural invariants that must hold for arbitrary sequences and rates.
+
+use cp4rec_repro::cl4srec::augment::{Augmentation, AugmentationSet, Crop, Mask, Reorder};
+use cp4rec_repro::tensor::init::rng;
+use proptest::prelude::*;
+
+fn arb_seq() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(1u32..500, 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Crop output is a contiguous sub-slice of the input with length
+    /// max(1, ⌊η·n⌋).
+    #[test]
+    fn crop_is_a_contiguous_subslice(seq in arb_seq(), eta in 0.0f64..=1.0, seed in 0u64..500) {
+        let mut r = rng(seed);
+        let out = Crop { eta }.apply(&seq, &mut r);
+        let expected = ((eta * seq.len() as f64).floor() as usize).clamp(1, seq.len());
+        prop_assert_eq!(out.len(), expected);
+        let found = seq.windows(out.len()).any(|w| w == &out[..]);
+        prop_assert!(found, "crop output is not a window of the input");
+    }
+
+    /// Mask preserves length and positions; exactly ⌊γ·n⌋ entries become
+    /// the mask token (assuming the token is not already in the sequence).
+    #[test]
+    fn mask_preserves_shape(seq in arb_seq(), gamma in 0.0f64..=1.0, seed in 0u64..500) {
+        let token = 10_000u32;
+        let mut r = rng(seed);
+        let out = Mask { gamma, mask_token: token }.apply(&seq, &mut r);
+        prop_assert_eq!(out.len(), seq.len());
+        let masked = out.iter().filter(|&&v| v == token).count();
+        prop_assert_eq!(masked, (gamma * seq.len() as f64).floor() as usize);
+        for (o, s) in out.iter().zip(&seq) {
+            prop_assert!(*o == token || o == s);
+        }
+    }
+
+    /// Reorder is a permutation: same multiset, same length, and items
+    /// outside one window of length ⌊β·n⌋ keep their positions.
+    #[test]
+    fn reorder_is_a_windowed_permutation(seq in arb_seq(), beta in 0.0f64..=1.0, seed in 0u64..500) {
+        let mut r = rng(seed);
+        let out = Reorder { beta }.apply(&seq, &mut r);
+        prop_assert_eq!(out.len(), seq.len());
+        let mut a = out.clone();
+        let mut b = seq.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "reorder changed the multiset");
+        let window = (beta * seq.len() as f64).floor() as usize;
+        let moved: Vec<usize> = out
+            .iter()
+            .zip(&seq)
+            .enumerate()
+            .filter(|(_, (x, y))| x != y)
+            .map(|(i, _)| i)
+            .collect();
+        if let (Some(&first), Some(&last)) = (moved.first(), moved.last()) {
+            prop_assert!(last - first < window.max(1), "changes escape the window");
+        }
+    }
+
+    /// The sampled two views never lose the whole sequence, and the set is
+    /// closed over its operators (outputs only contain input items or the
+    /// mask token).
+    #[test]
+    fn two_views_are_wellformed(seq in arb_seq(), seed in 0u64..500) {
+        let token = 10_000u32;
+        let set = AugmentationSet::paper_full(0.5, 0.5, 0.5, token);
+        let mut r = rng(seed);
+        let (a, b) = set.two_views(&seq, &mut r);
+        for view in [&a, &b] {
+            prop_assert!(!view.is_empty());
+            for &v in view {
+                prop_assert!(v == token || seq.contains(&v));
+            }
+        }
+    }
+
+    /// Augmentations are deterministic given the RNG state.
+    #[test]
+    fn operators_are_deterministic(seq in arb_seq(), seed in 0u64..500) {
+        let ops: Vec<Box<dyn Augmentation>> = vec![
+            Box::new(Crop { eta: 0.5 }),
+            Box::new(Mask { gamma: 0.5, mask_token: 10_000 }),
+            Box::new(Reorder { beta: 0.5 }),
+        ];
+        for op in &ops {
+            let out1 = op.apply(&seq, &mut rng(seed));
+            let out2 = op.apply(&seq, &mut rng(seed));
+            prop_assert_eq!(out1, out2);
+        }
+    }
+}

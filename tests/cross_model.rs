@@ -1,0 +1,119 @@
+//! Cross-model contract tests: every Table 2 method satisfies the
+//! [`SequenceScorer`] contract on the same dataset.
+
+use cp4rec_repro::cl4srec::model::{Cl4sRec, Cl4sRecConfig};
+use cp4rec_repro::data::synthetic::{generate_dataset, SyntheticConfig};
+use cp4rec_repro::data::Split;
+use cp4rec_repro::eval::SequenceScorer;
+use cp4rec_repro::models::{
+    Bert4Rec, Bert4RecConfig, BprMf, BprMfConfig, Caser, CaserConfig, EncoderConfig, Fpmc,
+    FpmcConfig, Gru4Rec, Gru4RecConfig, Ncf, NcfConfig, Pop, SasRec,
+};
+
+fn setup() -> (Split, usize) {
+    let mut cfg = SyntheticConfig::beauty(0.01);
+    cfg.num_users = 250;
+    let dataset = generate_dataset(&cfg);
+    let split = Split::leave_one_out(&dataset);
+    let n = dataset.num_items();
+    (split, n)
+}
+
+fn check_contract(model: &dyn SequenceScorer, split: &Split, num_items: usize) {
+    assert_eq!(model.num_items(), num_items);
+    let users = [0usize, 1, split.num_users() - 1];
+    let inputs: Vec<Vec<u32>> = users.iter().map(|&u| split.test_input(u)).collect();
+    let refs: Vec<&[u32]> = inputs.iter().map(Vec::as_slice).collect();
+    let scores = model.score_full_catalog(&users, &refs);
+    assert_eq!(scores.len(), users.len());
+    for row in &scores {
+        assert_eq!(row.len(), num_items + 1, "must cover ids 0..=num_items");
+        assert!(row.iter().all(|s| s.is_finite()), "scores must be finite");
+    }
+    // determinism
+    let again = model.score_full_catalog(&users, &refs);
+    assert_eq!(scores, again, "scoring must be deterministic");
+}
+
+#[test]
+fn every_method_satisfies_the_scorer_contract() {
+    let (split, n) = setup();
+    let enc = EncoderConfig { num_items: n, d: 16, heads: 2, layers: 1, max_len: 10, dropout: 0.1 };
+
+    check_contract(&Pop::fit(&split), &split, n);
+    check_contract(&BprMf::new(BprMfConfig { d: 16, ..Default::default() }, split.num_users(), n, 1), &split, n);
+    check_contract(&Ncf::new(NcfConfig { d: 16 }, split.num_users(), n, 2), &split, n);
+    check_contract(
+        &Gru4Rec::new(Gru4RecConfig { num_items: n, d: 16, max_len: 10, dropout: 0.1 }, 3),
+        &split,
+        n,
+    );
+    check_contract(&SasRec::new(enc.clone(), 4), &split, n);
+    check_contract(
+        &Cl4sRec::new(Cl4sRecConfig { encoder: enc.clone(), tau: 0.5 }, 5),
+        &split,
+        n,
+    );
+    check_contract(
+        &Fpmc::new(FpmcConfig { d: 16, ..Default::default() }, split.num_users(), n, 6),
+        &split,
+        n,
+    );
+    check_contract(
+        &Caser::new(
+            CaserConfig {
+                num_items: n,
+                d: 16,
+                window: 4,
+                heights: vec![2, 3],
+                n_h: 4,
+                n_v: 2,
+                dropout: 0.1,
+            },
+            split.num_users(),
+            7,
+        ),
+        &split,
+        n,
+    );
+    check_contract(
+        &Bert4Rec::new(Bert4RecConfig { encoder: enc, mask_prob: 0.3 }, 8),
+        &split,
+        n,
+    );
+}
+
+#[test]
+fn sasrec_bpr_warm_start_changes_scores() {
+    let (split, n) = setup();
+    let enc = EncoderConfig { num_items: n, d: 16, heads: 2, layers: 1, max_len: 10, dropout: 0.1 };
+    let cold = SasRec::new(enc.clone(), 7);
+    let mut warm = SasRec::new(enc, 7);
+    let bpr = BprMf::new(BprMfConfig { d: 16, ..Default::default() }, split.num_users(), n, 8);
+    warm.warm_start_items(bpr.item_factors());
+
+    let input = split.test_input(0);
+    let a = cold.score_full_catalog(&[0], &[&input]);
+    let b = warm.score_full_catalog(&[0], &[&input]);
+    assert_ne!(a, b, "warm start must change the scoring function");
+}
+
+#[test]
+fn sequence_models_react_to_history_and_mf_models_do_not() {
+    let (split, n) = setup();
+    let enc = EncoderConfig { num_items: n, d: 16, heads: 2, layers: 1, max_len: 10, dropout: 0.1 };
+    let sasrec = SasRec::new(enc, 1);
+    let h1: Vec<u32> = vec![1, 2, 3];
+    let h2: Vec<u32> = vec![4, 5, 6];
+    assert_ne!(
+        sasrec.score_full_catalog(&[0], &[&h1]),
+        sasrec.score_full_catalog(&[0], &[&h2]),
+        "SASRec must be history-sensitive"
+    );
+    let bpr = BprMf::new(BprMfConfig { d: 16, ..Default::default() }, split.num_users(), n, 1);
+    assert_eq!(
+        bpr.score_full_catalog(&[0], &[&h1]),
+        bpr.score_full_catalog(&[0], &[&h2]),
+        "BPR-MF must be history-insensitive"
+    );
+}
