@@ -16,6 +16,7 @@
 
 pub mod args;
 pub mod runners;
+pub mod seed_matmul;
 
 pub use args::ExpArgs;
 pub use runners::{prepare, Prepared};

@@ -1,0 +1,189 @@
+//! Frozen copies of the seed's matmul kernels, kept as the baseline side of
+//! the `matmul` benchmark group.
+//!
+//! These are the row-loop kernels `seqrec_tensor::linalg` shipped with
+//! before the packed/blocked GEMM engine replaced them: axpy rows for
+//! `nn`/`tn`, dot products for `nt`, rayon fan-out per output row past a
+//! work threshold, and the (now removed) data-dependent `x == 0.0` skip.
+//! Benchmarks compare the current engine against these so speedups are
+//! measured against the real seed implementation rather than the naive
+//! triple loop. Do not "fix" or optimise this module — its value is that it
+//! stays identical to the seed.
+
+use rayon::prelude::*;
+use seqrec_tensor::Tensor;
+
+/// Same fan-out threshold the seed used.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Seed `C = A·B` on row-major `[m,k]·[k,n]` tensors.
+pub fn matmul_nn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a);
+    let (k2, n) = dims2(b);
+    assert_eq!(k, k2);
+    let mut out = vec![0.0f32; m * n];
+    kernel_nn(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec([m, n], out)
+}
+
+/// Seed `C = A·Bᵀ` with `b` stored `[n,k]`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a);
+    let (n, k2) = dims2(b);
+    assert_eq!(k, k2);
+    let mut out = vec![0.0f32; m * n];
+    kernel_nt(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec([m, n], out)
+}
+
+/// Seed `C = Aᵀ·B` with `a` stored `[k,m]`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a);
+    let (k2, n) = dims2(b);
+    assert_eq!(k, k2);
+    let mut out = vec![0.0f32; m * n];
+    kernel_tn(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec([m, n], out)
+}
+
+/// Seed batched `A·Bᵀ` (`[ba,m,k]·[ba,n,k]`), serial per batch below the
+/// threshold and — exactly as in the seed — serial whenever `ba == 1`.
+pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let d = a.shape().dims();
+    let (ba, m, k) = (d[0], d[1], d[2]);
+    let dbv = b.shape().dims();
+    let n = dbv[1];
+    assert_eq!(ba, dbv[0]);
+    assert_eq!(k, dbv[2]);
+    let (as_, bs) = (a.data(), b.data());
+    let (a_stride, b_stride) = (m * k, n * k);
+    let mut out = vec![0.0f32; ba * m * n];
+    let run = |(i, chunk): (usize, &mut [f32])| {
+        let av = &as_[i * a_stride..(i + 1) * a_stride];
+        let bv = &bs[i * b_stride..(i + 1) * b_stride];
+        kernel_nt_serial(av, bv, chunk, m, k, n);
+    };
+    if ba * m * k * n >= PAR_THRESHOLD && ba > 1 {
+        out.par_chunks_mut(m * n).enumerate().for_each(run);
+    } else {
+        out.chunks_mut(m * n).enumerate().for_each(run);
+    }
+    Tensor::from_vec([ba, m, n], out)
+}
+
+fn dims2(t: &Tensor) -> (usize, usize) {
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+fn kernel_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m * k * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            nn_row(&a[i * k..(i + 1) * k], b, row, k, n);
+        });
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate().take(m) {
+            nn_row(&a[i * k..(i + 1) * k], b, row, k, n);
+        }
+    }
+}
+
+#[inline]
+fn nn_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: usize) {
+    for p in 0..k {
+        let x = a_row[p];
+        if x == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += x * bv;
+        }
+    }
+}
+
+fn kernel_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m * k * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            nt_row(&a[i * k..(i + 1) * k], b, row, k);
+        });
+    } else {
+        kernel_nt_serial(a, b, out, m, k, n);
+    }
+}
+
+fn kernel_nt_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, _n: usize) {
+    for (i, row) in out.chunks_mut(out.len() / m).enumerate().take(m) {
+        nt_row(&a[i * k..(i + 1) * k], b, row, k);
+    }
+}
+
+#[inline]
+fn nt_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize) {
+    for (j, o) in out_row.iter_mut().enumerate() {
+        let b_row = &b[j * k..(j + 1) * k];
+        let mut acc = 0.0f32;
+        for (&x, &y) in a_row.iter().zip(b_row) {
+            acc += x * y;
+        }
+        *o = acc;
+    }
+}
+
+fn kernel_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m * k * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            for p in 0..k {
+                let x = a[p * m + i];
+                if x == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in row.iter_mut().zip(b_row) {
+                    *o += x * bv;
+                }
+            }
+        });
+    } else {
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for i in 0..m {
+                let x = a_row[i];
+                if x == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += x * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqrec_tensor::init::{rng, uniform};
+    use seqrec_tensor::linalg;
+
+    /// The baseline must agree with the current engine, otherwise the bench
+    /// compares different computations.
+    #[test]
+    fn seed_kernels_match_current_engine() {
+        let mut r = rng(42);
+        let a = uniform([33, 20], -1.0, 1.0, &mut r);
+        let b = uniform([20, 27], -1.0, 1.0, &mut r);
+        assert!(matmul_nn(&a, &b).max_diff(&linalg::matmul_nn(&a, &b)) <= 1e-4);
+
+        let bt = uniform([27, 20], -1.0, 1.0, &mut r);
+        assert!(matmul_nt(&a, &bt).max_diff(&linalg::matmul_nt(&a, &bt)) <= 1e-4);
+
+        let at = uniform([20, 33], -1.0, 1.0, &mut r);
+        assert!(matmul_tn(&at, &b).max_diff(&linalg::matmul_tn(&at, &b)) <= 1e-4);
+
+        let q = uniform([4, 9, 8], -1.0, 1.0, &mut r);
+        let kk = uniform([4, 11, 8], -1.0, 1.0, &mut r);
+        assert!(bmm_nt(&q, &kk).max_diff(&linalg::bmm_nt(&q, &kk)) <= 1e-4);
+    }
+}

@@ -196,7 +196,7 @@ pub fn generate_log(cfg: &SyntheticConfig) -> RawLog {
                     prefs[rng.gen_range(0..prefs.len())]
                 } else {
                     // structured drift: a category "adjacent" to this one
-                    (cat + 1 + rng.gen_range(0..2)) % cfg.num_categories
+                    (cat + 1 + rng.gen_range(0..2usize)) % cfg.num_categories
                 };
             }
         }

@@ -14,7 +14,8 @@
 //!   [`nn::Param`]/[`nn::Step`] binding machinery.
 //! * [`optim`]: Adam (the paper's optimiser) with linear LR decay and
 //!   global-norm clipping; SGD for tests.
-//! * [`linalg`]: rayon-parallel blocked matmul kernels (`nn`/`nt`/`tn`).
+//! * [`linalg`]: a packed, cache-blocked GEMM engine (`nn`/`nt`/`tn`,
+//!   batched) with an AVX2+FMA microkernel and rayon row-band parallelism.
 //!
 //! ## Example
 //!

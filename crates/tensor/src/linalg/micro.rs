@@ -1,0 +1,252 @@
+//! The register-blocked `MR×NR` microkernel.
+//!
+//! The microkernel is the only code that touches `f32`s during the O(m·k·n)
+//! part of a GEMM: it computes a full `MR×NR` tile of `C` from one packed
+//! A-panel (`kc×MR`, row index fastest) and one packed B-panel (`kc×NR`,
+//! column index fastest), keeping all `MR·NR` partial sums in registers for
+//! the whole `kc` loop.
+//!
+//! `MR = 6`, `NR = 16` targets AVX2: 6 rows × two 8-lane vectors = 12 YMM
+//! accumulators, plus 2 vectors of B and 1 broadcast of A = 15 of the 16
+//! architectural YMM registers. On machines without AVX2+FMA a plain-array
+//! kernel with the same panel contract is used; LLVM vectorises it with
+//! whatever the baseline target offers (SSE2 on x86-64).
+//!
+//! Feature detection runs once and is cached in an atomic so the dispatch
+//! costs one relaxed load per tile.
+
+/// Microkernel tile rows (register-block height).
+pub const MR: usize = 6;
+/// Microkernel tile columns (register-block width; two 8-lane AVX vectors).
+pub const NR: usize = 16;
+
+/// Computes one `mr×nr` tile (`mr ≤ MR`, `nr ≤ NR`) of `C`.
+///
+/// * `apanel[p*MR + r]` holds `A[r, p]` of the tile (zero-padded to `MR`).
+/// * `bpanel[p*NR + c]` holds `B[p, c]` of the tile (zero-padded to `NR`).
+/// * `c` is the tile's top-left element; row `r` of the tile lives at
+///   `c[r*ldc ..]`.
+/// * `accumulate == false` overwrites the tile, `true` adds to it (used for
+///   every k-block after the first).
+///
+/// Full tiles are written straight to `c`; edge tiles are computed at full
+/// `MR×NR` width into a stack buffer (the packed panels are zero-padded, so
+/// the extra lanes compute zeros) and then copied back clipped.
+#[inline]
+pub fn tile(
+    kc: usize,
+    apanel: &[f32],
+    bpanel: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    accumulate: bool,
+) {
+    debug_assert!(apanel.len() >= kc * MR);
+    debug_assert!(bpanel.len() >= kc * NR);
+    debug_assert!(mr >= 1 && mr <= MR && nr >= 1 && nr <= NR);
+    if mr == MR && nr == NR {
+        debug_assert!(c.len() >= (MR - 1) * ldc + NR);
+        kernel(kc, apanel.as_ptr(), bpanel.as_ptr(), c.as_mut_ptr(), ldc, accumulate);
+    } else {
+        debug_assert!(c.len() >= (mr - 1) * ldc + nr);
+        let mut tmp = [0.0f32; MR * NR];
+        kernel(kc, apanel.as_ptr(), bpanel.as_ptr(), tmp.as_mut_ptr(), NR, false);
+        for r in 0..mr {
+            let dst = &mut c[r * ldc..r * ldc + nr];
+            let src = &tmp[r * NR..r * NR + nr];
+            if accumulate {
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            } else {
+                dst.copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// Dispatches a full `MR×NR` tile to the best available kernel.
+///
+/// Safety contract shared by both kernels: `a` points at `kc*MR` packed
+/// floats, `b` at `kc*NR`, and `c` at a tile whose last element
+/// `c[(MR-1)*ldc + NR - 1]` is in bounds.
+#[inline]
+fn kernel(kc: usize, a: *const f32, b: *const f32, c: *mut f32, ldc: usize, accumulate: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_available() {
+        // SAFETY: caller upholds the pointer contract; the CPU supports
+        // avx2+fma (checked above).
+        unsafe { kernel_avx2(kc, a, b, c, ldc, accumulate) };
+        return;
+    }
+    kernel_generic(kc, a, b, c, ldc, accumulate);
+}
+
+/// Returns whether the running CPU has AVX2 and FMA, detecting once.
+#[cfg(target_arch = "x86_64")]
+fn avx2_fma_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    // 0 = not yet probed, 1 = available, 2 = unavailable.
+    static CACHE: AtomicU8 = AtomicU8::new(0);
+    match CACHE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let ok = is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma");
+            CACHE.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
+            ok
+        }
+    }
+}
+
+/// AVX2+FMA kernel: 12 YMM accumulators, 2 B loads and 6 A broadcasts per
+/// `p`, with two fused multiply-adds per row.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kernel_avx2(
+    kc: usize,
+    a: *const f32,
+    b: *const f32,
+    c: *mut f32,
+    ldc: usize,
+    accumulate: bool,
+) {
+    use std::arch::x86_64::*;
+    // acc[r][0] covers columns 0..8 of row r, acc[r][1] columns 8..16.
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    for p in 0..kc {
+        let b0 = _mm256_loadu_ps(b.add(p * NR));
+        let b1 = _mm256_loadu_ps(b.add(p * NR + 8));
+        // MR is a compile-time constant; LLVM fully unrolls this loop and
+        // keeps every accumulator in a register.
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let av = _mm256_broadcast_ss(&*a.add(p * MR + r));
+            acc_r[0] = _mm256_fmadd_ps(av, b0, acc_r[0]);
+            acc_r[1] = _mm256_fmadd_ps(av, b1, acc_r[1]);
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        let row = c.add(r * ldc);
+        let (mut v0, mut v1) = (acc_r[0], acc_r[1]);
+        if accumulate {
+            v0 = _mm256_add_ps(v0, _mm256_loadu_ps(row));
+            v1 = _mm256_add_ps(v1, _mm256_loadu_ps(row.add(8)));
+        }
+        _mm256_storeu_ps(row, v0);
+        _mm256_storeu_ps(row.add(8), v1);
+    }
+}
+
+/// Portable kernel with the same panel contract; the accumulator array is
+/// small enough that LLVM keeps it in registers / auto-vectorises.
+fn kernel_generic(
+    kc: usize,
+    a: *const f32,
+    b: *const f32,
+    c: *mut f32,
+    ldc: usize,
+    accumulate: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    // SAFETY: caller upholds the pointer contract documented on `kernel`.
+    unsafe {
+        for p in 0..kc {
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let av = *a.add(p * MR + r);
+                for (j, s) in acc_r.iter_mut().enumerate() {
+                    *s += av * *b.add(p * NR + j);
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            let row = c.add(r * ldc);
+            for (j, &s) in acc_r.iter().enumerate() {
+                let dst = row.add(j);
+                *dst = if accumulate { *dst + s } else { s };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Packs a row-major `MR×kc` A-tile and `kc×NR` B-tile, runs the
+    /// microkernel, and checks against a scalar reference.
+    fn check(kc: usize, mr: usize, nr: usize, accumulate: bool) {
+        let mut apanel = vec![0.0f32; kc * MR];
+        let mut bpanel = vec![0.0f32; kc * NR];
+        let mut a = vec![0.0f32; MR * kc];
+        let mut bmat = vec![0.0f32; kc * NR];
+        let mut s = 1u64;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for r in 0..mr {
+            for p in 0..kc {
+                let v = next();
+                a[r * kc + p] = v;
+                apanel[p * MR + r] = v;
+            }
+        }
+        for p in 0..kc {
+            for j in 0..nr {
+                let v = next();
+                bmat[p * NR + j] = v;
+                bpanel[p * NR + j] = v;
+            }
+        }
+        let ldc = NR + 3; // deliberately non-NR stride
+        let mut c = vec![0.5f32; MR * ldc];
+        let mut expect = c.clone();
+        for r in 0..mr {
+            for j in 0..nr {
+                let mut dot = 0.0f32;
+                for p in 0..kc {
+                    dot += a[r * kc + p] * bmat[p * NR + j];
+                }
+                let e = &mut expect[r * ldc + j];
+                *e = if accumulate { *e + dot } else { dot };
+            }
+        }
+        tile(kc, &apanel, &bpanel, &mut c, ldc, mr, nr, accumulate);
+        for r in 0..mr {
+            for j in 0..nr {
+                let (got, want) = (c[r * ldc + j], expect[r * ldc + j]);
+                assert!(
+                    (got - want).abs() <= 1e-4,
+                    "tile({kc},{mr},{nr},acc={accumulate}) at ({r},{j}): {got} vs {want}"
+                );
+            }
+        }
+        // Elements outside the mr×nr window are untouched.
+        for r in 0..MR {
+            for j in 0..ldc {
+                if r >= mr || j >= nr {
+                    assert_eq!(c[r * ldc + j], 0.5, "clobbered ({r},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_tile_store_and_accumulate() {
+        check(1, MR, NR, false);
+        check(37, MR, NR, false);
+        check(37, MR, NR, true);
+    }
+
+    #[test]
+    fn edge_tiles_clip_writes() {
+        for mr in 1..=MR {
+            for nr in [1, 2, 7, 8, 9, 15, NR] {
+                check(5, mr, nr, false);
+                check(5, mr, nr, true);
+            }
+        }
+    }
+}

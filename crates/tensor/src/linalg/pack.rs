@@ -1,0 +1,108 @@
+//! Panel packing for the blocked GEMM.
+//!
+//! Packing copies a cache-block of each operand into a layout where the
+//! microkernel's reads are perfectly sequential, and it is the reason one
+//! microkernel serves all of `nn`/`nt`/`tn`: the layout-specific strides are
+//! paid once here, at O(m·k + k·n) cost, instead of inside the O(m·k·n)
+//! inner loop.
+//!
+//! * A-blocks become `MR`-row panels: `apack[panel][p*MR + r]` so the kernel
+//!   reads `MR` values per `p` contiguously.
+//! * B-blocks become `NR`-column panels: `bpack[panel][p*NR + c]`.
+//!
+//! Partial edge panels are **zero-padded** to full `MR`/`NR` width, so the
+//! microkernel never needs a reduced-size multiply path — only the final
+//! write-back is clipped (see [`super::micro::tile`]).
+
+use super::gemm::MatRef;
+use super::micro::{MR, NR};
+
+/// Bytes needed to pack an `mc×kc` A-block: edge rows round up to `MR`.
+pub fn packed_a_len(mc: usize, kc: usize) -> usize {
+    mc.div_ceil(MR) * MR * kc
+}
+
+/// Bytes needed to pack a `kc×nc` B-block: edge columns round up to `NR`.
+pub fn packed_b_len(kc: usize, nc: usize) -> usize {
+    nc.div_ceil(NR) * NR * kc
+}
+
+/// Packs `A[ic..ic+mc, pc..pc+kc]` into `MR`-row panels in `buf`.
+pub fn pack_a(a: &MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, buf: &mut [f32]) {
+    debug_assert!(buf.len() >= packed_a_len(mc, kc));
+    for pi in 0..mc.div_ceil(MR) {
+        let panel = &mut buf[pi * MR * kc..(pi + 1) * MR * kc];
+        let rows = (mc - pi * MR).min(MR);
+        // Row-outer traversal: for the row-major (`nn`) layout each `p` sweep
+        // reads contiguously, and the strided writes land in a panel small
+        // enough (MR·kc floats) to stay in L1/L2.
+        for r in 0..rows {
+            let row0 = a.offset(ic + pi * MR + r, pc);
+            for p in 0..kc {
+                panel[p * MR + r] = a.data[row0 + p * a.cs];
+            }
+        }
+        for r in rows..MR {
+            for p in 0..kc {
+                panel[p * MR + r] = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs `B[pc..pc+kc, jc..jc+nc]` into `NR`-column panels in `buf`.
+pub fn pack_b(b: &MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize, buf: &mut [f32]) {
+    debug_assert!(buf.len() >= packed_b_len(kc, nc));
+    for pj in 0..nc.div_ceil(NR) {
+        let panel = &mut buf[pj * NR * kc..(pj + 1) * NR * kc];
+        let cols = (nc - pj * NR).min(NR);
+        for p in 0..kc {
+            let row0 = b.offset(pc + p, jc + pj * NR);
+            let dst = &mut panel[p * NR..(p + 1) * NR];
+            for (c, d) in dst.iter_mut().enumerate().take(cols) {
+                *d = b.data[row0 + c * b.cs];
+            }
+            for d in dst.iter_mut().skip(cols) {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_pads_edge_rows_with_zeros() {
+        // 7×3 row-major A (rs=3, cs=1), packed whole: 2 panels of MR=6 rows.
+        let data: Vec<f32> = (0..21).map(|v| v as f32).collect();
+        let a = MatRef { data: &data, rs: 3, cs: 1 };
+        let mut buf = vec![-1.0f32; packed_a_len(7, 3)];
+        pack_a(&a, 0, 0, 7, 3, &mut buf);
+        // Panel 0, p=1, r=2 -> A[2,1] = 7.
+        assert_eq!(buf[MR + 2], 7.0);
+        // Panel 1 holds row 6 then 5 zero rows: p=2, r=0 -> A[6,2] = 20.
+        assert_eq!(buf[MR * 3 + 2 * MR], 20.0);
+        for p in 0..3 {
+            for r in 1..MR {
+                assert_eq!(buf[MR * 3 + p * MR + r], 0.0, "pad at p={p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_handles_column_major_views() {
+        // Logical 2×3 B viewed from a stored 3×2 row-major matrix (the `nt`
+        // case): B[p][c] = stored[c][p] -> rs=1, cs=2.
+        let stored: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = MatRef { data: &stored, rs: 1, cs: 2 };
+        let mut buf = vec![-1.0f32; packed_b_len(2, 3)];
+        pack_b(&b, 0, 0, 2, 3, &mut buf);
+        // p=0: B[0,:] = stored[:,0] = [1,3,5]; rest of the NR lane is zero.
+        assert_eq!(&buf[..3], &[1.0, 3.0, 5.0]);
+        assert!(buf[3..NR].iter().all(|&v| v == 0.0));
+        // p=1: B[1,:] = stored[:,1] = [2,4,6].
+        assert_eq!(&buf[NR..NR + 3], &[2.0, 4.0, 6.0]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Thread-local scratch buffers for packed panels.
+//!
+//! Packing needs an `MC×KC` A-buffer per worker thread and a `KC×NC`
+//! B-buffer per GEMM call. Allocating those inside the blocking loops would
+//! put `malloc` on the hot path of every k-block; instead each thread keeps
+//! its buffers alive in a thread-local pool, so steady-state GEMM does zero
+//! allocation (buffers only grow, on first use or when a larger blocking
+//! configuration appears).
+//!
+//! A and B live in **separate** thread-locals because a B-buffer borrow is
+//! held across the row-block parallel loop while each worker borrows an
+//! A-buffer — on a single-thread pool both borrows come from the same
+//! thread, and a shared `RefCell` would panic.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_buf<R>(
+    cell: &'static std::thread::LocalKey<RefCell<Vec<f32>>>,
+    len: usize,
+    f: impl FnOnce(&mut [f32]) -> R,
+) -> R {
+    cell.with(|c| {
+        let mut buf = c.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
+
+/// Runs `f` with this thread's A-panel buffer, grown to at least `len`.
+/// Contents are whatever the previous pack left; `pack_a` overwrites fully.
+pub fn with_pack_a<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    with_buf(&PACK_A, len, f)
+}
+
+/// Runs `f` with this thread's B-panel buffer, grown to at least `len`.
+pub fn with_pack_b<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    with_buf(&PACK_B, len, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_and_are_reused() {
+        let p0 = with_pack_a(16, |b| {
+            b[3] = 7.0;
+            b.as_ptr() as usize
+        });
+        let p1 = with_pack_a(8, |b| {
+            assert_eq!(b.len(), 8);
+            assert_eq!(b[3], 7.0, "smaller request reuses the same storage");
+            b.as_ptr() as usize
+        });
+        assert_eq!(p0, p1);
+    }
+
+    #[test]
+    fn a_and_b_buffers_can_nest() {
+        with_pack_b(4, |b| {
+            b[0] = 1.0;
+            with_pack_a(4, |a| a[0] = 2.0);
+            assert_eq!(b[0], 1.0);
+        });
+    }
+}

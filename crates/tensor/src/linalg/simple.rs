@@ -1,0 +1,55 @@
+//! Direct kernels for problems too small to amortise packing.
+//!
+//! Below [`super::SMALL_THRESHOLD`] multiply-adds (or when the output is
+//! narrower than a register tile) the blocked engine's packing and edge
+//! handling cost more than they save, so these layout-specialised loops run
+//! instead. Each keeps both inner operands contiguous so LLVM
+//! auto-vectorises the innermost loop; none of them branch on element
+//! values (a data-dependent `x == 0.0` skip defeats vectorisation and adds
+//! a mispredicted branch per scalar on dense data).
+
+/// `C = A·B`, row-major `[m,k]·[k,n]`, axpy formulation.
+pub fn nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for (i, row) in out.chunks_mut(n).enumerate().take(m) {
+        let a_row = &a[i * k..(i + 1) * k];
+        row.fill(0.0);
+        for (p, &x) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in row.iter_mut().zip(b_row) {
+                *o += x * bv;
+            }
+        }
+    }
+}
+
+/// `C = A·Bᵀ` with `B` stored `[n,k]`: every output is a dot product of two
+/// contiguous rows. Output rows are stride `n` (not `out.len()/m`, which
+/// would mis-stride any caller passing a larger backing slice).
+pub fn nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for (i, row) in out.chunks_mut(n).enumerate().take(m) {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, o) in row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// `C = Aᵀ·B` with `A` stored `[k,m]`: k-outer axpy so both reads stream.
+pub fn tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out[..m * n].fill(0.0);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &x) in a_row.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += x * bv;
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Runs the matmul-engine benchmark suite (matmul + attention + ntxent) and
+# aggregates the criterion-shim JSONL output into BENCH_matmul.json at the
+# repo root, with GFLOP/s per shape and blocked-vs-seed speedups for the
+# acceptance shapes.
+#
+# Usage: scripts/bench_matmul.sh [extra cargo bench args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+OUT_DIR="$REPO_ROOT/target/criterion-shim"
+RESULTS="$OUT_DIR/results.jsonl"
+REPORT="$REPO_ROOT/BENCH_matmul.json"
+
+mkdir -p "$OUT_DIR"
+rm -f "$RESULTS"
+
+# Route every bench's JSONL to one place regardless of package CWD.
+export CRITERION_SHIM_OUT="$OUT_DIR"
+
+for bench in matmul attention ntxent; do
+    echo "== cargo bench --bench $bench =="
+    cargo bench --offline -p seqrec-bench --bench "$bench" "$@"
+done
+
+python3 - "$RESULTS" "$REPORT" <<'PY'
+import json
+import sys
+
+results_path, report_path = sys.argv[1], sys.argv[2]
+
+rows = []
+with open(results_path) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+
+def dims_of(param):
+    """Parse '256x256x256' / '64x50x32x50' ids into dim lists."""
+    if not param:
+        return None
+    try:
+        return [int(p) for p in param.split("x")]
+    except ValueError:
+        return None
+
+out_rows = []
+# (group, param) -> {function: mean_ns}
+by_shape = {}
+for r in rows:
+    dims = dims_of(r.get("param"))
+    gflops = (r["rate_per_sec"] / 1e9) if r.get("rate_per_sec") else None
+    out_rows.append({
+        "id": r["id"],
+        "group": r["group"],
+        "function": r["function"],
+        "dims": dims,
+        "mean_ns": r["mean_ns"],
+        "std_ns": r["std_ns"],
+        "gflops": gflops,
+    })
+    if dims:
+        by_shape.setdefault((r["group"], r["param"]), {})[r["function"]] = r["mean_ns"]
+
+speedups = {}
+for (group, param), fns in sorted(by_shape.items()):
+    for fn, mean in fns.items():
+        if not fn.startswith("blocked_"):
+            continue
+        seed = fns.get("seed_" + fn[len("blocked_"):])
+        if seed:
+            speedups[f"{group}/{param}/{fn[len('blocked_'):]}"] = round(seed / mean, 2)
+
+# Acceptance: blocked nn >= 2x seed at [256,256,256] and [512,64,4096].
+acceptance = {}
+ok = True
+for key in ("matmul/256x256x256/nn", "matmul/512x64x4096/nn"):
+    s = speedups.get(key)
+    acceptance[key] = s
+    ok = ok and s is not None and s >= 2.0
+acceptance["required_speedup"] = 2.0
+acceptance["pass"] = ok
+
+report = {
+    "generated_by": "scripts/bench_matmul.sh",
+    "note": "gflops = 2*prod(dims) / mean wall time; speedup = seed mean_ns / blocked mean_ns",
+    "acceptance": acceptance,
+    "speedup_vs_seed": speedups,
+    "results": out_rows,
+}
+with open(report_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+print(f"\nwrote {report_path}")
+for k, v in speedups.items():
+    print(f"  {k}: {v}x")
+print(f"acceptance pass: {acceptance['pass']}")
+sys.exit(0 if ok else 1)
+PY

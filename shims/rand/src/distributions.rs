@@ -1,0 +1,138 @@
+//! The `rand::distributions` subset: `Distribution`, `Standard`, and
+//! `WeightedIndex` (used by the synthetic-data Zipf sampler).
+
+use crate::RngCore;
+
+/// Types that can produce samples of `T` from raw random bits.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type; for floats, uniform in `[0, 1)`.
+pub struct Standard;
+
+/// Uniform float in `[0, 1)` built from the top mantissa-width bits.
+pub(crate) fn unit<T: Unit, R: RngCore + ?Sized>(rng: &mut R) -> T {
+    T::from_bits(rng.next_u64())
+}
+
+/// Helper for mantissa-width unit-interval floats.
+pub(crate) trait Unit {
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Unit for f32 {
+    fn from_bits(bits: u64) -> f32 {
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Unit for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit(rng)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit(rng)
+    }
+}
+
+/// Error from [`WeightedIndex::new`] on empty/invalid weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedError;
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid weights for WeightedIndex")
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` proportionally to a weight vector.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex<X> {
+    cumulative: Vec<X>,
+}
+
+impl WeightedIndex<f64> {
+    /// Builds the sampler; errors on an empty list, a negative or non-finite
+    /// weight, or an all-zero total.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: core::borrow::Borrow<f64>,
+    {
+        use core::borrow::Borrow as _;
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(WeightedError);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() || total <= 0.0 {
+            return Err(WeightedError);
+        }
+        Ok(WeightedIndex { cumulative })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u: f64 = unit::<f64, R>(rng) * total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cumulative weights"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let w = WeightedIndex::new([0.0, 1.0, 0.0, 3.0]).unwrap();
+        let mut r = Lcg(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[3] > counts[1], "3:1 weights: {counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_input() {
+        assert!(WeightedIndex::new(Vec::<f64>::new()).is_err());
+        assert!(WeightedIndex::new([0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new([-1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline shim for `rand_chacha`: exposes [`ChaCha8Rng`] with the seeding
+//! API the workspace uses. The underlying generator is xoshiro256++ (not real
+//! ChaCha8) — deterministic per seed, which is all the workspace relies on.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable generator (xoshiro256++ core under a ChaCha8 name;
+/// see `shims/README.md`).
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+/// Alias so code written against the 20-round variant also compiles.
+pub type ChaCha20Rng = ChaCha8Rng;
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step.
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion, the standard way to seed xoshiro.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        ChaCha8Rng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge, {same}/64 collisions");
+    }
+
+    #[test]
+    fn float_helpers_work_through_rand_traits() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let mut acc = 0.0f64;
+        for _ in 0..10_000 {
+            acc += r.gen::<f64>();
+        }
+        let mean = acc / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline **serial** shim for the `rayon` API subset used by this
+//! workspace. The container exposes a single hardware thread, so every
+//! `par_*` combinator maps to the equivalent serial iterator with rayon's
+//! method signatures (`fold(identity_fn, op)`, `reduce(identity_fn, op)`,
+//! …). Swapping the real rayon back in requires no call-site changes.
+
+/// Everything call sites need: extension traits and [`ParIter`].
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParIter, ParallelSliceExt, ParallelSliceMutExt,
+    };
+}
+
+/// Serial stand-in for a rayon parallel iterator: wraps a std iterator and
+/// offers rayon-shaped combinators.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// `(index, item)` pairs.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Applies `f` to every item.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keeps items where `f` is true.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Pairs with another (into-)parallel iterator.
+    pub fn zip<J: IntoParallelIterator>(
+        self,
+        other: J,
+    ) -> ParIter<std::iter::Zip<I, J::Iter>> {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon-shaped fold: produces a (single-element) iterator of per-thread
+    /// accumulators — serially, exactly one.
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<A>>
+    where
+        ID: Fn() -> A,
+        F: FnMut(A, I::Item) -> A,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// rayon-shaped reduce: folds all items with `op`, starting from
+    /// `identity()` when empty.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.reduce(op).unwrap_or_else(identity)
+    }
+
+    /// Collects into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Hint accepted for API compatibility; no-op serially.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// Conversion into a [`ParIter`]; blanket-implemented for every
+/// `IntoIterator` (ranges, `Vec`, adaptors, and `ParIter` itself).
+pub trait IntoParallelIterator {
+    /// The underlying serial iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Wraps into the rayon-shaped iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter`/`par_chunks` on slices (and `Vec` via deref).
+pub trait ParallelSliceExt<T> {
+    /// Serial stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Serial stand-in for `rayon`'s `par_chunks`.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on slices (and `Vec` via deref).
+pub trait ParallelSliceMutExt<T> {
+    /// Serial stand-in for `rayon`'s `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Serial stand-in for `rayon`'s `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+}
+
+/// Serial `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The shim is always single-threaded.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_matches_serial() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn zip_fold_reduce_shapes() {
+        let a = [1u64, 2, 3, 4];
+        let b = [10u64, 20, 30, 40];
+        let total = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| x * y)
+            .fold(|| 0u64, |acc, v| acc + v)
+            .reduce(|| 0u64, |x, y| x + y);
+        assert_eq!(total, 10 + 40 + 90 + 160);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_and_vecs() {
+        let s: usize = (0..10usize).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(s, 285);
+        let v: Vec<i32> = vec![3, 1, 2].into_par_iter().collect();
+        assert_eq!(v, [3, 1, 2]);
+    }
+}

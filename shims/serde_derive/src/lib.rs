@@ -1,0 +1,123 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` shim.
+//!
+//! Supports exactly what this workspace uses: **non-generic structs with
+//! named fields** and no `#[serde(...)]` attributes. The generated
+//! `Serialize` impl builds a `serde::Value::Object` field by field;
+//! `Deserialize` derives to the marker impl (nothing in the workspace
+//! deserializes). Written against the raw `proc_macro` API — no `syn`/
+//! `quote`, which are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting one `Object` entry per field.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "m.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));"
+        ));
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 let mut m: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 serde::Value::Object(m)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _fields) = parse_named_struct(input);
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+/// Extracts the type name and field names from a named-field struct
+/// definition. Panics with a clear message on unsupported shapes.
+fn parse_named_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde_derive shim: expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("serde_derive shim supports only structs with named fields (got enum)")
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde_derive shim: no `struct` keyword found");
+
+    // Find the brace-delimited field block (skipping nothing else: the
+    // workspace has no generic serde types).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim does not support generic struct `{name}`")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim does not support tuple struct `{name}`")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive shim: struct `{name}` has no body"),
+        }
+    };
+
+    // Field grammar: `#[attr]* pub? ident : type ,` — commas inside the type
+    // only occur within groups (single token trees) or angle brackets, whose
+    // nesting we track by hand.
+    let mut fields = Vec::new();
+    let mut expect_name = true;
+    let mut angle_depth = 0i32;
+    let mut body_iter = body.into_iter().peekable();
+    while let Some(tt) = body_iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && expect_name => {
+                let _ = body_iter.next(); // the [...] attribute group
+            }
+            TokenTree::Ident(id) if expect_name => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Optional `pub(crate)`-style restriction group.
+                    if let Some(TokenTree::Group(g)) = body_iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = body_iter.next();
+                        }
+                    }
+                } else {
+                    fields.push(s);
+                    expect_name = false;
+                }
+            }
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => expect_name = true,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    (name, fields)
+}
