@@ -7,10 +7,19 @@
 //! allocation (buffers only grow, on first use or when a larger blocking
 //! configuration appears).
 //!
-//! A and B live in **separate** thread-locals because a B-buffer borrow is
-//! held across the row-block parallel loop while each worker borrows an
-//! A-buffer — on a single-thread pool both borrows come from the same
-//! thread, and a shared `RefCell` would panic.
+//! ## Re-entrancy
+//!
+//! `with_pack_b`'s closure spans the row-band parallel loop in
+//! [`super::gemm`], and under a work-stealing scheduler (real rayon) the
+//! calling worker can steal *another* GEMM task while it waits — e.g. a
+//! sibling batch of a `bmm` — and re-enter this module on the same thread.
+//! The buffer is therefore **moved out** of its `RefCell` before the
+//! closure runs and restored afterwards: no borrow is held while user code
+//! executes, so a re-entrant call simply finds the slot empty and
+//! allocates a fresh buffer for the inner invocation (the larger of the
+//! two is kept on restore). A and B additionally live in separate
+//! thread-locals so the A-packs nested inside a B-pack closure never
+//! contend for the same slot.
 
 use std::cell::RefCell;
 
@@ -24,13 +33,22 @@ fn with_buf<R>(
     len: usize,
     f: impl FnOnce(&mut [f32]) -> R,
 ) -> R {
+    // Take the buffer out of the slot; the borrow lasts only for the swap,
+    // never across `f` (see the module docs on re-entrancy).
+    let mut buf = cell.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    let r = f(&mut buf[..len]);
     cell.with(|c| {
-        let mut buf = c.borrow_mut();
-        if buf.len() < len {
-            buf.resize(len, 0.0);
+        let mut slot = c.borrow_mut();
+        // Keep the larger allocation; a nested call may have parked its own
+        // (smaller) buffer here while ours was out.
+        if buf.len() > slot.len() {
+            *slot = buf;
         }
-        f(&mut buf[..len])
-    })
+    });
+    r
 }
 
 /// Runs `f` with this thread's A-panel buffer, grown to at least `len`.
@@ -69,5 +87,25 @@ mod tests {
             with_pack_a(4, |a| a[0] = 2.0);
             assert_eq!(b[0], 1.0);
         });
+    }
+
+    #[test]
+    fn same_buffer_reentry_is_safe() {
+        // Work-stealing can re-enter gemm — and thus with_pack_b — on the
+        // same thread while an outer with_pack_b closure is live. The inner
+        // call must get its own buffer, not a RefCell panic, and the outer
+        // buffer must be untouched by the inner writes.
+        let outer_ptr = with_pack_b(8, |outer| {
+            outer.fill(1.0);
+            with_pack_b(4, |inner| {
+                inner.fill(2.0);
+                with_pack_b(2, |innermost| innermost.fill(3.0));
+            });
+            assert!(outer.iter().all(|&v| v == 1.0), "outer clobbered by inner");
+            outer.as_ptr() as usize
+        });
+        // The outer (largest) buffer is what survives in the slot.
+        let next_ptr = with_pack_b(8, |b| b.as_ptr() as usize);
+        assert_eq!(outer_ptr, next_ptr);
     }
 }

@@ -83,9 +83,23 @@ for key in ("matmul/256x256x256/nn", "matmul/512x64x4096/nn"):
 acceptance["required_speedup"] = 2.0
 acceptance["pass"] = ok
 
+import os
+
 report = {
     "generated_by": "scripts/bench_matmul.sh",
     "note": "gflops = 2*prod(dims) / mean wall time; speedup = seed mean_ns / blocked mean_ns",
+    "environment": {
+        "threads_used": 1,
+        "hardware_cpus": os.cpu_count(),
+        "rayon": "serial in-tree shim (shims/rayon); every par_* combinator runs serially",
+        "harness": "criterion in-tree shim (shims/criterion)",
+        "caveat": (
+            "ALL measurements are single-threaded. speedup_vs_seed compares the serial "
+            "blocked kernels against the serial seed kernels and says nothing about "
+            "multicore throughput; re-validate with genuine rayon before citing "
+            "threaded numbers."
+        ),
+    },
     "acceptance": acceptance,
     "speedup_vs_seed": speedups,
     "results": out_rows,

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# The tier-1 verification gate.
+#
+# `cargo test -q` at the repo root runs ONLY the root package's 16
+# integration tests, because the workspace root also has a [package]
+# section. The kernel suites that actually exercise the blocked GEMM
+# engine — linalg unit tests, tests/proptest_linalg.rs, the gradchecks —
+# plus every member crate's and shim's tests need `--workspace`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test --workspace -q "$@"

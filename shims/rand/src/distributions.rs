@@ -12,25 +12,27 @@ pub trait Distribution<T> {
 /// The "natural" distribution of a type; for floats, uniform in `[0, 1)`.
 pub struct Standard;
 
-/// Uniform float in `[0, 1)` built from the top mantissa-width bits.
+/// Uniform float in `[0, 1)` built from the top mantissa-width bits,
+/// bit-compatible with rand 0.8's `Standard`: an `f32` consumes one
+/// `next_u32` (top 24 bits), an `f64` one `next_u64` (top 53 bits).
 pub(crate) fn unit<T: Unit, R: RngCore + ?Sized>(rng: &mut R) -> T {
-    T::from_bits(rng.next_u64())
+    T::sample_unit(rng)
 }
 
 /// Helper for mantissa-width unit-interval floats.
 pub(crate) trait Unit {
-    fn from_bits(bits: u64) -> Self;
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 
 impl Unit for f32 {
-    fn from_bits(bits: u64) -> f32 {
-        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        ((rng.next_u32() >> 8) as f32) * (1.0 / (1u64 << 24) as f32)
     }
 }
 
 impl Unit for f64 {
-    fn from_bits(bits: u64) -> f64 {
-        ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
     }
 }
 

@@ -1,6 +1,17 @@
 //! The `rand::seq` subset: `SliceRandom::{shuffle, choose}`.
 
-use crate::{Rng, RngCore};
+use crate::{RngCore, SampleRange};
+
+/// rand 0.8's `seq::index::gen_index`: indices below `u32::MAX` are sampled
+/// at `u32` width (one `next_u32`-based draw), matching the real crate's
+/// stream consumption.
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        (0..ubound as u32).sample_single(rng) as usize
+    } else {
+        (0..ubound).sample_single(rng)
+    }
+}
 
 /// Random operations on slices.
 pub trait SliceRandom {
@@ -18,8 +29,10 @@ impl<T> SliceRandom for [T] {
     type Item = T;
 
     fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        // Fisher–Yates from the top, drawing each index through
+        // `gen_index` as rand 0.8 does.
         for i in (1..self.len()).rev() {
-            let j = rng.gen_range(0..=i);
+            let j = gen_index(rng, i + 1);
             self.swap(i, j);
         }
     }
@@ -28,8 +41,7 @@ impl<T> SliceRandom for [T] {
         if self.is_empty() {
             None
         } else {
-            let i = rng.gen_range(0..self.len());
-            Some(&self[i])
+            Some(&self[gen_index(rng, self.len())])
         }
     }
 }
