@@ -5,18 +5,18 @@
 //! wall clock — this target compiles them once. `cargo bench --bench
 //! all_benches` runs everything.
 
-#[path = "matmul.rs"]
-mod matmul_benches;
-#[path = "augment.rs"]
-mod augment_benches;
 #[path = "attention.rs"]
 mod attention_benches;
+#[path = "augment.rs"]
+mod augment_benches;
+#[path = "batching.rs"]
+mod batching_benches;
+#[path = "matmul.rs"]
+mod matmul_benches;
 #[path = "ntxent.rs"]
 mod ntxent_benches;
 #[path = "ranking.rs"]
 mod ranking_benches;
-#[path = "batching.rs"]
-mod batching_benches;
 
 criterion::criterion_main!(
     matmul_benches::benches,

@@ -12,9 +12,8 @@ fn make_batch(b: usize, t: usize, num_items: usize) -> (Vec<u32>, Vec<Vec<bool>>
     let mut ids = Vec::with_capacity(b * t);
     let mut valid = Vec::with_capacity(b);
     for u in 0..b {
-        let seq: Vec<u32> = (0..10 + u % 20)
-            .map(|i| ((u * 7 + i * 3) % num_items) as u32 + 1)
-            .collect();
+        let seq: Vec<u32> =
+            (0..10 + u % 20).map(|i| ((u * 7 + i * 3) % num_items) as u32 + 1).collect();
         let (i, v) = pad_left(&seq, t);
         ids.extend(i);
         valid.push(v);
@@ -23,7 +22,8 @@ fn make_batch(b: usize, t: usize, num_items: usize) -> (Vec<u32>, Vec<Vec<bool>>
 }
 
 fn bench_attention(c: &mut Criterion) {
-    let cfg = EncoderConfig { num_items: 1000, d: 64, heads: 2, layers: 2, max_len: 50, dropout: 0.2 };
+    let cfg =
+        EncoderConfig { num_items: 1000, d: 64, heads: 2, layers: 2, max_len: 50, dropout: 0.2 };
     let mut r = rng(1);
     let enc = TransformerEncoder::new(cfg, &mut r);
 

@@ -2,8 +2,8 @@
 //! two-view positive pair — the per-batch preprocessing cost of
 //! contrastive pre-training.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cl4srec::augment::{Augmentation, AugmentationSet, Crop, Mask, Reorder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seqrec_tensor::init::rng;
 use std::hint::black_box;
 

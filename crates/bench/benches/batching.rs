@@ -7,9 +7,8 @@ use std::collections::HashSet;
 use std::hint::black_box;
 
 fn bench_batching(c: &mut Criterion) {
-    let seqs: Vec<Vec<u32>> = (0..256)
-        .map(|u| (0..12).map(|i| ((u * 13 + i * 7) % 5000) as u32 + 1).collect())
-        .collect();
+    let seqs: Vec<Vec<u32>> =
+        (0..256).map(|u| (0..12).map(|i| ((u * 13 + i * 7) % 5000) as u32 + 1).collect()).collect();
     let seq_refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
 
     let mut group = c.benchmark_group("batching");

@@ -34,10 +34,7 @@ fn flops2d(m: usize, k: usize, n: usize) -> u64 {
 }
 
 fn dims_id(dims: &[usize]) -> String {
-    dims.iter()
-        .map(|d| d.to_string())
-        .collect::<Vec<_>>()
-        .join("x")
+    dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
 }
 
 fn pair(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
@@ -121,9 +118,7 @@ fn bench_matmul(c: &mut Criterion) {
         let q = uniform([bh, t, dh], -1.0, 1.0, &mut r);
         let k = uniform([bh, t, dh], -1.0, 1.0, &mut r);
         let id = dims_id(&[bh, t, dh, t]);
-        group.throughput(Throughput::Elements(
-            (bh as u64) * flops2d(t, dh, t),
-        ));
+        group.throughput(Throughput::Elements((bh as u64) * flops2d(t, dh, t)));
         group.bench_with_input(BenchmarkId::new("blocked_bmm_nt", &id), &bh, |bench, _| {
             bench.iter(|| linalg::bmm_nt(black_box(&q), black_box(&k)));
         });

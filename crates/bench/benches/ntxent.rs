@@ -2,8 +2,8 @@
 //! fused cross-entropy (the library implementation) against a per-pair
 //! reference that computes each similarity row independently.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cl4srec::ntxent::nt_xent;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seqrec_tensor::init::{rng, uniform};
 use seqrec_tensor::nn::Step;
 use seqrec_tensor::Tensor;

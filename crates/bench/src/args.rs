@@ -33,12 +33,7 @@ impl ExpArgs {
             epochs: 25,
             pretrain_epochs: 12,
             seed: 42,
-            datasets: vec![
-                "beauty".into(),
-                "sports".into(),
-                "toys".into(),
-                "yelp".into(),
-            ],
+            datasets: vec!["beauty".into(), "sports".into(), "toys".into(), "yelp".into()],
             out: None,
             verbose: false,
         }

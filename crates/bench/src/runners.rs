@@ -80,22 +80,14 @@ pub fn run_method(name: &str, prep: &Prepared, args: &ExpArgs) -> (RankingMetric
             eval_test(&model, split)
         }
         "BPR-MF" => {
-            let mut model = BprMf::new(
-                BprMfConfig::default(),
-                split.num_users(),
-                num_items,
-                args.seed,
-            );
+            let mut model =
+                BprMf::new(BprMfConfig::default(), split.num_users(), num_items, args.seed);
             model.fit(split, &opts);
             eval_test(&model, split)
         }
         "FPMC" => {
-            let mut model = Fpmc::new(
-                FpmcConfig::default(),
-                split.num_users(),
-                num_items,
-                args.seed,
-            );
+            let mut model =
+                Fpmc::new(FpmcConfig::default(), split.num_users(), num_items, args.seed);
             model.fit(split, &opts);
             eval_test(&model, split)
         }
@@ -126,12 +118,8 @@ pub fn run_method(name: &str, prep: &Prepared, args: &ExpArgs) -> (RankingMetric
         }
         "SASRec_BPR" => {
             // stage 1: BPR-MF item factors
-            let mut bpr = BprMf::new(
-                BprMfConfig::default(),
-                split.num_users(),
-                num_items,
-                args.seed,
-            );
+            let mut bpr =
+                BprMf::new(BprMfConfig::default(), split.num_users(), num_items, args.seed);
             bpr.fit(split, &opts);
             // stage 2: warm-started SASRec
             let mut model = SasRec::new(EncoderConfig::small(num_items), args.seed);
@@ -184,15 +172,8 @@ pub fn run_sasrec_with(
 }
 
 /// Table 2's method order (the arXiv version's baselines).
-pub const METHOD_ORDER: [&str; 7] = [
-    "Pop",
-    "BPR-MF",
-    "NCF",
-    "GRU4Rec",
-    "SASRec",
-    "SASRec_BPR",
-    "CL4SRec",
-];
+pub const METHOD_ORDER: [&str; 7] =
+    ["Pop", "BPR-MF", "NCF", "GRU4Rec", "SASRec", "SASRec_BPR", "CL4SRec"];
 
 /// Extended method order matching the ICDE camera-ready comparison (adds
 /// FPMC, Caser and BERT4Rec).

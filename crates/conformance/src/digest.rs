@@ -1,0 +1,59 @@
+//! Bit-exact digests of tensors and parameter states.
+//!
+//! The golden training fixtures pin whole trajectories: per-step losses are
+//! stored as raw f32 bit patterns and final parameter values as FNV-1a
+//! digests over their exact bits. Any change that perturbs a single ULP
+//! anywhere in a parameter flips its digest.
+
+use seqrec_tensor::nn::HasParams;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Order-sensitive FNV-1a over a byte stream.
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a over the exact little-endian bit patterns of a slice of f32s.
+/// `0.0` and `-0.0` digest differently — bit-for-bit means bit-for-bit.
+pub fn digest_f32s(xs: &[f32]) -> u64 {
+    fnv1a(xs.iter().flat_map(|v| v.to_bits().to_le_bytes()))
+}
+
+/// Digests every parameter of a model in visit order as
+/// `(name, fnv1a(value bits))` pairs.
+pub fn digest_params<M: HasParams + ?Sized>(model: &M) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    model.visit(&mut |p| {
+        out.push((p.name().to_string(), digest_f32s(p.value().data())));
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // classic FNV-1a test vectors
+        assert_eq!(fnv1a([]), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(*b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(*b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_order_and_bit_sensitive() {
+        let a = digest_f32s(&[1.0, 2.0]);
+        let b = digest_f32s(&[2.0, 1.0]);
+        assert_ne!(a, b);
+        assert_ne!(digest_f32s(&[0.0]), digest_f32s(&[-0.0]));
+        assert_eq!(digest_f32s(&[1.0, 2.0]), a);
+    }
+}

@@ -1,0 +1,28 @@
+//! # seqrec-conformance
+//!
+//! The correctness subsystem pinning the optimized engine to the math of the
+//! paper. Three layers:
+//!
+//! * [`oracle`] — naive, scalar, obviously-correct reference implementations
+//!   of every public tensor op, the NT-Xent loss (Eq. 3/13) and the three
+//!   augmentation operators (Eq. 4–6). No blocking, no fusion, no
+//!   stabilisation tricks beyond f64 accumulation: each function is short
+//!   enough to verify by eye against the paper.
+//! * [`digest`] — order-sensitive FNV-1a digests over exact f32 bit
+//!   patterns, used by the golden training fixtures to pin whole parameter
+//!   states bit-for-bit.
+//! * [`golden`] — seeded tiny training scenarios (K optimizer steps on a
+//!   synthetic dataset) recorded as text fixtures under `tests/golden/`;
+//!   any engine, RNG or optimizer change that alters a training trajectory
+//!   fails tier-1.
+//!
+//! The differential proptest fuzzers and whole-model gradchecks live in this
+//! crate's `tests/` directory; the golden assertions live in the workspace
+//! root's `tests/golden_training.rs` so they run with the root package's
+//! tier-1 suite.
+
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod golden;
+pub mod oracle;

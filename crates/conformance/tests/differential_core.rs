@@ -1,0 +1,97 @@
+//! Differential fuzzing of `cl4srec` (NT-Xent and the augmentation
+//! operators) against the oracle.
+//!
+//! The augmentations are stochastic, so engine and oracle consume the same
+//! seeded ChaCha stream: the draws must line up AND the independently
+//! written transformation logic must agree, element-for-element. NT-Xent is
+//! deterministic and held to the f64 oracle on adversarial batch shapes
+//! (N = 2, d = 1).
+
+use cl4srec::{nt_xent, Augmentation, AugmentationSet, Crop, Mask, Reorder};
+use proptest::prelude::*;
+use rand::Rng;
+use seqrec_conformance::oracle;
+use seqrec_tensor::init::{rng, TensorRng};
+use seqrec_tensor::nn::Step;
+use seqrec_tensor::Tensor;
+
+fn data(seed: u64, n: usize) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(-3.0f32..3.0)).collect()
+}
+
+fn seq(seed: u64, n: usize) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(1..100u32)).collect()
+}
+
+proptest! {
+    #[test]
+    fn diff_nt_xent(seed in 0u64..1_000_000, n in 2usize..9, d in 1usize..9, tau in 0.1f32..2.0) {
+        let z1 = data(seed, n * d);
+        let z2 = data(seed ^ 1, n * d);
+        let mut step = Step::new();
+        let v1 = step.tape.leaf(Tensor::from_vec([n, d], z1.clone()));
+        let v2 = step.tape.leaf(Tensor::from_vec([n, d], z2.clone()));
+        let l = nt_xent(&mut step, v1, v2, tau);
+        let engine = step.tape.value(l).item();
+        let expect = oracle::nt_xent(&z1, &z2, n, d, tau);
+        let rel = (engine - expect).abs() / 1.0f32.max(expect.abs());
+        prop_assert!(rel <= 1e-4, "engine {engine} vs oracle {expect} (rel {rel:.3e})");
+    }
+
+    #[test]
+    fn diff_crop(seed in 0u64..1_000_000, n in 1usize..30, eta in 0.0f64..=1.0) {
+        let s = seq(seed ^ 2, n);
+        let mut er: TensorRng = rng(seed);
+        let mut or: TensorRng = rng(seed);
+        let engine = Crop { eta }.apply(&s, &mut er);
+        let expect = oracle::crop(&s, eta, &mut or);
+        prop_assert_eq!(engine, expect);
+    }
+
+    #[test]
+    fn diff_mask(seed in 0u64..1_000_000, n in 1usize..30, gamma in 0.0f64..=1.0) {
+        let s = seq(seed ^ 3, n);
+        let mut er: TensorRng = rng(seed);
+        let mut or: TensorRng = rng(seed);
+        let engine = Mask { gamma, mask_token: 999 }.apply(&s, &mut er);
+        let expect = oracle::mask(&s, gamma, 999, &mut or);
+        prop_assert_eq!(engine, expect);
+    }
+
+    #[test]
+    fn diff_reorder(seed in 0u64..1_000_000, n in 1usize..30, beta in 0.0f64..=1.0) {
+        let s = seq(seed ^ 4, n);
+        let mut er: TensorRng = rng(seed);
+        let mut or: TensorRng = rng(seed);
+        let engine = Reorder { beta }.apply(&s, &mut er);
+        let expect = oracle::reorder(&s, beta, &mut or);
+        prop_assert_eq!(engine, expect);
+    }
+
+    /// `two_views` draws two operator indices then applies both operators
+    /// from the same stream; the oracle replays the identical protocol with
+    /// its own transformation code.
+    #[test]
+    fn diff_two_views(seed in 0u64..1_000_000, n in 1usize..30,
+                      eta in 0.05f64..=1.0, gamma in 0.0f64..=1.0, beta in 0.0f64..=1.0) {
+        let s = seq(seed ^ 5, n);
+        let mask_token = 999;
+        let augs = AugmentationSet::paper_full(eta, gamma, beta, mask_token);
+        let mut er: TensorRng = rng(seed);
+        let mut or: TensorRng = rng(seed);
+        let (v1, v2) = augs.two_views(&s, &mut er);
+        let i = or.gen_range(0..3usize);
+        let j = or.gen_range(0..3usize);
+        let apply = |which: usize, r: &mut TensorRng| match which {
+            0 => oracle::crop(&s, eta, r),
+            1 => oracle::mask(&s, gamma, mask_token, r),
+            _ => oracle::reorder(&s, beta, r),
+        };
+        let e1 = apply(i, &mut or);
+        let e2 = apply(j, &mut or);
+        prop_assert_eq!(v1, e1);
+        prop_assert_eq!(v2, e2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Whole-model finite-difference gradient checks.
+//!
+//! `check_param_gradients` perturbs every element of every parameter of a
+//! fully assembled model and compares the central difference against the
+//! backward pass of the exact training objective each model's `fit`
+//! optimises. Configs are tiny (d = 4, one layer, T = 5) so the full sweep
+//! stays fast, and dropout is 0 so each loss is a deterministic function of
+//! the parameters (BERT4Rec's cloze masking and CL4SRec's augmentations draw
+//! from a freshly reseeded stream inside the closure instead).
+
+use cl4srec::{AugmentationSet, Cl4sRec, Cl4sRecConfig};
+use seqrec_data::batch::{next_item_batch, NegativeSampler, NextItemBatch};
+use seqrec_models::{
+    Bert4Rec, Bert4RecConfig, BprMf, BprMfConfig, Caser, CaserConfig, EncoderConfig, Fpmc,
+    FpmcConfig, Gru4Rec, Gru4RecConfig, Ncf, NcfConfig, SasRec,
+};
+use seqrec_tensor::gradcheck::check_param_gradients;
+use seqrec_tensor::init::{rng, uniform};
+use seqrec_tensor::nn::HasParams;
+
+/// The acceptance bar for every whole-model check.
+const TOL: f64 = 1e-3;
+const EPS: f32 = 1e-2;
+
+/// Re-initialises every parameter at O(1) scale before checking.
+///
+/// The paper's 0.02-std truncated-normal init leaves LayerNorm inputs with
+/// variance ~1e-3, so `1/σ` amplifies by ~30× and the loss surface curves
+/// sharply: central differences in f32 then disagree with the (correct)
+/// analytic gradient by percents no matter the step size. Gradient checking
+/// is a property of the *code*, not the init, so every model is probed at a
+/// well-conditioned random point instead.
+fn recondition<M: HasParams + ?Sized>(model: &mut M, seed: u64) {
+    let mut r = rng(seed);
+    model.visit_mut(&mut |p| {
+        let shape = p.value().shape().clone();
+        *p.value_mut() = uniform(shape, -0.5, 0.5, &mut r);
+    });
+}
+
+fn tiny_encoder() -> EncoderConfig {
+    EncoderConfig { num_items: 8, d: 4, heads: 2, layers: 1, max_len: 5, dropout: 0.0 }
+}
+
+fn tiny_seqs() -> Vec<Vec<u32>> {
+    vec![vec![1, 2, 3, 4], vec![5, 6, 7], vec![2, 5, 8]]
+}
+
+fn tiny_batch() -> NextItemBatch {
+    let seqs = tiny_seqs();
+    let refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
+    let mut sampler = NegativeSampler::new(8, 3);
+    next_item_batch(&refs, 5, &mut sampler)
+}
+
+fn assert_report(model: &str, report: seqrec_tensor::gradcheck::GradCheckReport) {
+    assert!(
+        report.max_rel_err <= TOL,
+        "{model}: whole-model gradcheck failed: {report:?} (tol {TOL})"
+    );
+}
+
+#[test]
+fn gradcheck_sasrec() {
+    let mut model = SasRec::new(tiny_encoder(), 41);
+    recondition(&mut model, 141);
+    let batch = tiny_batch();
+    let report = check_param_gradients(
+        &mut model,
+        |m, step| m.next_item_loss(step, &batch, true, &mut rng(5)),
+        EPS,
+    );
+    assert_report("sasrec", report);
+}
+
+#[test]
+fn gradcheck_bert4rec() {
+    let cfg = Bert4RecConfig { encoder: tiny_encoder(), mask_prob: 0.3 };
+    let mut model = Bert4Rec::new(cfg, 42);
+    recondition(&mut model, 142);
+    let seqs = tiny_seqs();
+    let report = check_param_gradients(
+        &mut model,
+        |m, step| {
+            let refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
+            // reseeded every call: identical cloze masks for every FD probe
+            m.cloze_loss(step, &refs, true, &mut rng(6))
+        },
+        EPS,
+    );
+    assert_report("bert4rec", report);
+}
+
+#[test]
+fn gradcheck_gru4rec() {
+    let cfg = Gru4RecConfig { num_items: 8, d: 4, max_len: 5, dropout: 0.0 };
+    let mut model = Gru4Rec::new(cfg, 43);
+    recondition(&mut model, 143);
+    let batch = tiny_batch();
+    let report = check_param_gradients(
+        &mut model,
+        |m, step| m.next_item_loss(step, &batch, true, &mut rng(7)),
+        EPS,
+    );
+    assert_report("gru4rec", report);
+}
+
+#[test]
+fn gradcheck_caser() {
+    let cfg = CaserConfig {
+        num_items: 8,
+        d: 4,
+        window: 3,
+        heights: vec![2],
+        n_h: 2,
+        n_v: 1,
+        dropout: 0.0,
+    };
+    let mut model = Caser::new(cfg, 3, 44);
+    recondition(&mut model, 144);
+    let ids = [1, 2, 3, 0, 4, 5, 6, 7, 8]; // three left-padded windows of L=3
+    let u_ids = [0, 1, 2];
+    let pos = [4, 6, 1];
+    let neg = [2, 8, 5];
+    let report = check_param_gradients(
+        &mut model,
+        |m, step| m.bce_loss(step, &ids, &u_ids, &pos, &neg, true, &mut rng(8)),
+        EPS,
+    );
+    assert_report("caser", report);
+}
+
+#[test]
+fn gradcheck_fpmc() {
+    let mut model = Fpmc::new(FpmcConfig { d: 4, weight_decay: 0.0 }, 3, 8, 45);
+    recondition(&mut model, 145);
+    let u_ids = [0, 1, 2];
+    let last = [3, 7, 5];
+    let pos = [4, 6, 1];
+    let neg = [2, 8, 5];
+    let report = check_param_gradients(
+        &mut model,
+        |m, step| m.bpr_loss(step, &u_ids, &last, &pos, &neg),
+        EPS,
+    );
+    assert_report("fpmc", report);
+}
+
+#[test]
+fn gradcheck_ncf() {
+    let mut model = Ncf::new(NcfConfig { d: 4 }, 3, 8, 46);
+    recondition(&mut model, 146);
+    let u_ids = [0, 1, 2];
+    let pos = [4, 6, 1];
+    let neg = [2, 8, 5];
+    let report =
+        check_param_gradients(&mut model, |m, step| m.bce_loss(step, &u_ids, &pos, &neg), EPS);
+    assert_report("ncf", report);
+}
+
+#[test]
+fn gradcheck_bprmf() {
+    let mut model = BprMf::new(BprMfConfig { d: 4, weight_decay: 0.0 }, 3, 8, 47);
+    recondition(&mut model, 147);
+    let u_ids = [0, 1, 2];
+    let pos = [4, 6, 1];
+    let neg = [2, 8, 5];
+    let report =
+        check_param_gradients(&mut model, |m, step| m.bpr_loss(step, &u_ids, &pos, &neg), EPS);
+    assert_report("bprmf", report);
+}
+
+/// The tentpole's capstone: Eq. 16 — BCE next-item loss plus λ·NT-Xent over
+/// two augmented views — gradchecked through the shared encoder, the
+/// projection head, and both loss branches at once.
+#[test]
+fn gradcheck_cl4srec_joint() {
+    let cfg = Cl4sRecConfig { encoder: tiny_encoder(), tau: 0.5 };
+    let mut model = Cl4sRec::new(cfg, 48);
+    recondition(&mut model, 148);
+    let augs = AugmentationSet::paper_full(0.6, 0.5, 0.5, model.mask_token());
+    let seqs = tiny_seqs();
+    let batch = tiny_batch();
+    let report = check_param_gradients(
+        &mut model,
+        |m, step| {
+            let refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
+            // reseeded every call: identical augmented views per FD probe
+            m.joint_loss(step, &batch, &refs, &augs, 0.1, true, &mut rng(9))
+        },
+        EPS,
+    );
+    assert_report("cl4srec_joint", report);
+}

@@ -1,0 +1,160 @@
+//! One-batch overfit smoke tests: every baseline, trained with Adam on a
+//! fixed 4-user synthetic batch, must strictly reduce its own training
+//! objective over 20 steps.
+//!
+//! Gradchecks verify *directions* element-by-element but tolerate tiny
+//! relative errors; a sign flip or off-by-one indexing bug confined to a
+//! small parameter slice can hide below their tolerance yet still poison
+//! optimisation. Descent on the actual objective is the complementary
+//! end-to-end signal. Stochastic objectives (cloze masks, augmentations)
+//! reseed their RNG every step so each test optimises one fixed
+//! deterministic function.
+
+use cl4srec::{AugmentationSet, Cl4sRec, Cl4sRecConfig};
+use seqrec_data::batch::{next_item_batch, NegativeSampler, NextItemBatch};
+use seqrec_models::{
+    Bert4Rec, Bert4RecConfig, BprMf, BprMfConfig, Caser, CaserConfig, EncoderConfig, Fpmc,
+    FpmcConfig, Gru4Rec, Gru4RecConfig, Ncf, NcfConfig, SasRec,
+};
+use seqrec_tensor::init::rng;
+use seqrec_tensor::nn::{HasParams, Step};
+use seqrec_tensor::optim::{Adam, AdamConfig};
+use seqrec_tensor::Var;
+
+const STEPS: usize = 20;
+
+/// The 4-user synthetic dataset (catalog 10) shared by every smoke test.
+fn seqs() -> Vec<Vec<u32>> {
+    vec![vec![1, 3, 5, 7, 9], vec![2, 4, 6, 8], vec![9, 7, 5, 3, 1], vec![1, 2, 3, 4, 5, 6]]
+}
+
+fn batch(t: usize) -> NextItemBatch {
+    let s = seqs();
+    let refs: Vec<&[u32]> = s.iter().map(Vec::as_slice).collect();
+    let mut sampler = NegativeSampler::new(10, 31);
+    next_item_batch(&refs, t, &mut sampler)
+}
+
+fn encoder_cfg() -> EncoderConfig {
+    EncoderConfig { num_items: 10, d: 8, heads: 2, layers: 1, max_len: 6, dropout: 0.0 }
+}
+
+/// Runs `STEPS` Adam steps of `loss_fn` and asserts the recorded losses
+/// strictly decrease: every step below the previous one, within a small
+/// slack for Adam's occasional overshoot, and the final loss strictly —
+/// and substantially — below the first.
+fn assert_overfits<M: HasParams>(
+    name: &str,
+    model: &mut M,
+    mut loss_fn: impl FnMut(&M, &mut Step) -> Var,
+) {
+    let mut adam = Adam::new(AdamConfig { lr: 1e-2, ..AdamConfig::default() });
+    let mut losses = Vec::with_capacity(STEPS);
+    for _ in 0..STEPS {
+        let mut step = Step::new();
+        let loss = loss_fn(model, &mut step);
+        losses.push(step.tape.value(loss).item());
+        let grads = step.tape.backward(loss);
+        adam.step(model, &step, &grads);
+    }
+    let (first, last) = (losses[0], losses[STEPS - 1]);
+    assert!(last < first, "{name}: loss did not decrease over {STEPS} steps: {losses:?}");
+    assert!(last < 0.9 * first, "{name}: loss barely moved ({first} → {last}): {losses:?}");
+    // Strict descent step-to-step, with 2% slack for Adam overshoot.
+    for w in losses.windows(2) {
+        assert!(w[1] < w[0] * 1.02 + 1e-4, "{name}: loss jumped {} → {}: {losses:?}", w[0], w[1]);
+    }
+}
+
+#[test]
+fn overfit_sasrec() {
+    let mut model = SasRec::new(encoder_cfg(), 71);
+    let b = batch(6);
+    assert_overfits("sasrec", &mut model, |m, step| m.next_item_loss(step, &b, true, &mut rng(70)));
+}
+
+#[test]
+fn overfit_bert4rec() {
+    let cfg = Bert4RecConfig { encoder: encoder_cfg(), mask_prob: 0.3 };
+    let mut model = Bert4Rec::new(cfg, 72);
+    let s = seqs();
+    assert_overfits("bert4rec", &mut model, |m, step| {
+        let refs: Vec<&[u32]> = s.iter().map(Vec::as_slice).collect();
+        // reseeded every step: one fixed cloze mask to overfit
+        m.cloze_loss(step, &refs, true, &mut rng(70))
+    });
+}
+
+#[test]
+fn overfit_gru4rec() {
+    let cfg = Gru4RecConfig { num_items: 10, d: 8, max_len: 6, dropout: 0.0 };
+    let mut model = Gru4Rec::new(cfg, 73);
+    let b = batch(6);
+    assert_overfits("gru4rec", &mut model, |m, step| {
+        m.next_item_loss(step, &b, true, &mut rng(70))
+    });
+}
+
+#[test]
+fn overfit_caser() {
+    let cfg = CaserConfig {
+        num_items: 10,
+        d: 8,
+        window: 3,
+        heights: vec![2],
+        n_h: 2,
+        n_v: 1,
+        dropout: 0.0,
+    };
+    let mut model = Caser::new(cfg, 4, 74);
+    let ids = [1, 3, 5, 2, 4, 6, 9, 7, 5, 1, 2, 3]; // four windows of L=3
+    let u_ids = [0, 1, 2, 3];
+    let pos = [7, 8, 3, 4];
+    let neg = [2, 9, 8, 9];
+    assert_overfits("caser", &mut model, |m, step| {
+        m.bce_loss(step, &ids, &u_ids, &pos, &neg, true, &mut rng(70))
+    });
+}
+
+#[test]
+fn overfit_fpmc() {
+    let mut model = Fpmc::new(FpmcConfig { d: 8, weight_decay: 0.0 }, 4, 10, 75);
+    let u_ids = [0, 1, 2, 3];
+    let last = [5, 6, 3, 5];
+    let pos = [7, 8, 1, 6];
+    let neg = [2, 9, 8, 9];
+    assert_overfits("fpmc", &mut model, |m, step| m.bpr_loss(step, &u_ids, &last, &pos, &neg));
+}
+
+#[test]
+fn overfit_ncf() {
+    let mut model = Ncf::new(NcfConfig { d: 8 }, 4, 10, 76);
+    let u_ids = [0, 1, 2, 3];
+    let pos = [7, 8, 1, 6];
+    let neg = [2, 9, 8, 9];
+    assert_overfits("ncf", &mut model, |m, step| m.bce_loss(step, &u_ids, &pos, &neg));
+}
+
+#[test]
+fn overfit_bprmf() {
+    let mut model = BprMf::new(BprMfConfig { d: 8, weight_decay: 0.0 }, 4, 10, 77);
+    let u_ids = [0, 1, 2, 3];
+    let pos = [7, 8, 1, 6];
+    let neg = [2, 9, 8, 9];
+    assert_overfits("bprmf", &mut model, |m, step| m.bpr_loss(step, &u_ids, &pos, &neg));
+}
+
+/// The paper's model on its joint objective (Eq. 16) — the augmentation
+/// stream is reseeded every step so both views stay fixed.
+#[test]
+fn overfit_cl4srec_joint() {
+    let cfg = Cl4sRecConfig { encoder: encoder_cfg(), tau: 0.5 };
+    let mut model = Cl4sRec::new(cfg, 78);
+    let augs = AugmentationSet::paper_full(0.6, 0.5, 0.5, model.mask_token());
+    let s = seqs();
+    let b = batch(6);
+    assert_overfits("cl4srec", &mut model, |m, step| {
+        let refs: Vec<&[u32]> = s.iter().map(Vec::as_slice).collect();
+        m.joint_loss(step, &b, &refs, &augs, 0.1, true, &mut rng(70))
+    });
+}

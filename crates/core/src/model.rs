@@ -151,6 +151,30 @@ impl Cl4sRec {
         nt_xent(step, z1, z2, self.cfg.tau)
     }
 
+    /// The joint objective of Eq. 16: next-item BCE on `batch` plus
+    /// `lambda ×` the NT-Xent contrastive loss over `seqs` (the same
+    /// sequences the batch was built from).
+    ///
+    /// Public so the conformance suite can gradcheck and golden-pin the
+    /// exact objective [`Cl4sRec::fit_joint`] optimises.
+    #[allow(clippy::too_many_arguments)] // Eq. 16 genuinely takes both data streams + λ
+    pub fn joint_loss(
+        &self,
+        step: &mut Step,
+        batch: &seqrec_data::batch::NextItemBatch,
+        seqs: &[&[u32]],
+        augs: &AugmentationSet,
+        lambda: f32,
+        training: bool,
+        r: &mut TensorRng,
+    ) -> Var {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        let next = self.sasrec.next_item_loss(step, batch, training, r);
+        let cl = self.contrastive_loss(step, seqs, augs, training, r);
+        let weighted = step.tape.scale(cl, lambda);
+        step.tape.add(next, weighted)
+    }
+
     /// Contrastive pre-training over the split's training sequences.
     pub fn pretrain(
         &mut self,
@@ -189,8 +213,7 @@ impl Cl4sRec {
                 if chunk.len() < 2 {
                     continue; // a singleton tail batch has no negatives
                 }
-                let seqs: Vec<&[u32]> =
-                    chunk.iter().map(|&u| split.train_sequence(u)).collect();
+                let seqs: Vec<&[u32]> = chunk.iter().map(|&u| split.train_sequence(u)).collect();
                 let mut step = Step::new();
                 let loss = self.contrastive_loss(&mut step, &seqs, augs, true, &mut r);
                 let grads = step.tape.backward(loss);
@@ -236,10 +259,8 @@ impl Cl4sRec {
         assert!(users.len() >= 2, "joint training needs at least 2 usable users");
 
         let mut adam = Adam::new(AdamConfig { lr: opts.lr, ..AdamConfig::default() });
-        let mut sampler = seqrec_data::batch::NegativeSampler::new(
-            split.num_items(),
-            opts.seed ^ 0x7c4,
-        );
+        let mut sampler =
+            seqrec_data::batch::NegativeSampler::new(split.num_items(), opts.seed ^ 0x7c4);
         let mut r = rng(opts.seed);
         let t = self.cfg.encoder.max_len;
 
@@ -252,14 +273,10 @@ impl Cl4sRec {
                 if chunk.len() < 2 {
                     continue;
                 }
-                let seqs: Vec<&[u32]> =
-                    chunk.iter().map(|&u| split.train_sequence(u)).collect();
+                let seqs: Vec<&[u32]> = chunk.iter().map(|&u| split.train_sequence(u)).collect();
                 let batch = seqrec_data::batch::next_item_batch(&seqs, t, &mut sampler);
                 let mut step = Step::new();
-                let next = self.sasrec.next_item_loss(&mut step, &batch, true, &mut r);
-                let cl = self.contrastive_loss(&mut step, &seqs, augs, true, &mut r);
-                let weighted = step.tape.scale(cl, lambda);
-                let loss = step.tape.add(next, weighted);
+                let loss = self.joint_loss(&mut step, &batch, &seqs, augs, lambda, true, &mut r);
                 let grads = step.tape.backward(loss);
                 adam.step(self, &step, &grads);
                 loss_sum += step.tape.value(loss).item() as f64;
@@ -357,9 +374,7 @@ mod tests {
     }
 
     fn toy_dataset() -> Dataset {
-        let seqs = (0..40)
-            .map(|u| (0..8).map(|i| ((u + i) % 12) as u32 + 1).collect())
-            .collect();
+        let seqs = (0..40).map(|u| (0..8).map(|i| ((u + i) % 12) as u32 + 1).collect()).collect();
         Dataset::new(seqs, 12)
     }
 
@@ -368,12 +383,8 @@ mod tests {
         let split = Split::leave_one_out(&toy_dataset());
         let mut model = Cl4sRec::new(tiny_cfg(12), 1);
         let augs = AugmentationSet::paper_full(0.6, 0.3, 0.5, model.mask_token());
-        let opts = PretrainOptions {
-            epochs: 8,
-            batch_size: 16,
-            patience: None,
-            ..Default::default()
-        };
+        let opts =
+            PretrainOptions { epochs: 8, batch_size: 16, patience: None, ..Default::default() };
         let report = model.pretrain(&split, &augs, &opts);
         assert_eq!(report.losses.len(), 8);
         let first = report.losses[0];
@@ -408,10 +419,7 @@ mod tests {
     fn two_stage_pipeline_runs_end_to_end() {
         let split = Split::leave_one_out(&toy_dataset());
         let mut model = Cl4sRec::new(tiny_cfg(12), 3);
-        let augs = AugmentationSet::pair(
-            Crop { eta: 0.6 },
-            Reorder { beta: 0.5 },
-        );
+        let augs = AugmentationSet::pair(Crop { eta: 0.6 }, Reorder { beta: 0.5 });
         let pre_opts = PretrainOptions { epochs: 2, batch_size: 16, ..Default::default() };
         let fine_opts = TrainOptions {
             epochs: 2,
@@ -444,17 +452,18 @@ mod tests {
         };
         let report = model.pretrain(&split, &augs, &opts);
         let baseline = (2.0f32 * 16.0 - 1.0).ln();
-        assert!((report.losses[0] - baseline).abs() < 1.0,
-            "initial loss {} vs baseline {baseline}", report.losses[0]);
+        assert!(
+            (report.losses[0] - baseline).abs() < 1.0,
+            "initial loss {} vs baseline {baseline}",
+            report.losses[0]
+        );
     }
 
     #[test]
     fn joint_training_runs_and_improves_over_random() {
         // A catalog large enough that chance-level HR@10 (10/40) leaves
         // clear headroom for the assertion.
-        let seqs = (0..60)
-            .map(|u| (0..8).map(|i| ((u + i) % 40) as u32 + 1).collect())
-            .collect();
+        let seqs = (0..60).map(|u| (0..8).map(|i| ((u + i) % 40) as u32 + 1).collect()).collect();
         let ds = seqrec_data::Dataset::new(seqs, 40);
         let split = Split::leave_one_out(&ds);
         let mut model = Cl4sRec::new(tiny_cfg(40), 6);
@@ -520,12 +529,8 @@ mod tests {
         let split = Split::leave_one_out(&toy_dataset());
         let mut model = Cl4sRec::new(tiny_cfg(12), 5);
         let augs = AugmentationSet::single(Crop { eta: 0.9 });
-        let opts = PretrainOptions {
-            epochs: 40,
-            batch_size: 16,
-            patience: Some(2),
-            ..Default::default()
-        };
+        let opts =
+            PretrainOptions { epochs: 40, batch_size: 16, patience: Some(2), ..Default::default() };
         let report = model.pretrain(&split, &augs, &opts);
         assert!(report.losses.len() <= 40);
     }

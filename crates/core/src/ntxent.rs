@@ -41,9 +41,8 @@ pub fn nt_xent(step: &mut Step, z1: Var, z2: Var, tau: f32) -> Var {
     let masked = step.tape.add_const(sim, &diag);
 
     // Row i's positive is its other view: i+N for the first half, i-N after.
-    let targets: Vec<u32> = (0..two_n)
-        .map(|i| if i < n { (i + n) as u32 } else { (i - n) as u32 })
-        .collect();
+    let targets: Vec<u32> =
+        (0..two_n).map(|i| if i < n { (i + n) as u32 } else { (i - n) as u32 }).collect();
     let losses = step.tape.softmax_cross_entropy(masked, &targets);
     step.tape.mean_all(losses)
 }
@@ -143,6 +142,76 @@ mod tests {
             1e-2,
             5e-3,
         );
+    }
+
+    /// Eq. 13 worked out on paper for a 2×2 batch. With z1 = z2 = I₂ the
+    /// four anchors are e₁, e₂, e₁, e₂; every anchor sees its positive at
+    /// cosine 1 and its two in-batch negatives at cosine 0, so
+    ///
+    /// ```text
+    /// ℓ = −log( e^{1/τ} / (e^{1/τ} + e⁰ + e⁰) ) = ln(2 + e^{1/τ}) − 1/τ
+    /// ```
+    ///
+    /// identically for all anchors. At τ = 0.5 that is ln(2 + e²) − 2 =
+    /// 0.239543…; at τ = 1 it is ln(2 + e) − 1 = 0.551444….
+    #[test]
+    fn hand_computed_2x2_aligned() {
+        let z = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let at_half = loss_of(z.clone(), z.clone(), 0.5);
+        assert!((at_half - 0.239_543).abs() < 1e-4, "τ=0.5: got {at_half}");
+        let at_one = loss_of(z.clone(), z, 1.0);
+        assert!((at_one - 0.551_444).abs() < 1e-4, "τ=1: got {at_one}");
+    }
+
+    /// The adversarial sibling: z2 swaps the rows of z1, so each anchor's
+    /// positive is orthogonal (cos 0) while one *negative* sits at cos 1:
+    ///
+    /// ```text
+    /// ℓ = −log( e⁰ / (e⁰ + e^{1/τ} + e⁰) ) = ln(2 + e^{1/τ})
+    /// ```
+    ///
+    /// i.e. exactly 1/τ above the aligned case — 2.239543… at τ = 0.5.
+    #[test]
+    fn hand_computed_2x2_swapped() {
+        let z1 = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let z2 = Tensor::from_vec([2, 2], vec![0.0, 1.0, 1.0, 0.0]);
+        let l = loss_of(z1, z2, 0.5);
+        assert!((l - 2.239_543).abs() < 1e-4, "τ=0.5 swapped: got {l}");
+    }
+
+    /// Swapping the two views cannot change the loss: the 2N anchors are
+    /// the same set, just enumerated in a different order.
+    #[test]
+    fn loss_is_symmetric_in_the_views() {
+        for seed in 0..10 {
+            let mut r = rng(100 + seed);
+            let z1 = uniform([5, 7], -1.0, 1.0, &mut r);
+            let z2 = uniform([5, 7], -1.0, 1.0, &mut r);
+            let ab = loss_of(z1.clone(), z2.clone(), 0.4);
+            let ba = loss_of(z2, z1, 0.4);
+            assert!((ab - ba).abs() < 1e-5, "seed {seed}: {ab} vs {ba}");
+        }
+    }
+
+    /// With identical views every anchor's positive is its own argmax
+    /// similarity, so raising τ can only flatten the softmax away from the
+    /// correct answer: the loss must increase monotonically in τ, from ~0
+    /// (τ → 0 sharpens onto the positive) toward ln(2N−1) (τ → ∞).
+    #[test]
+    fn loss_is_monotone_in_temperature() {
+        let taus = [0.1f32, 0.2, 0.5, 1.0, 2.0, 5.0];
+        for seed in 0..10 {
+            let mut r = rng(200 + seed);
+            let z = uniform([4, 6], -1.0, 1.0, &mut r);
+            let mut prev = f32::NEG_INFINITY;
+            for &tau in &taus {
+                let l = loss_of(z.clone(), z.clone(), tau);
+                assert!(l > prev, "seed {seed}: loss not increasing at τ={tau}: {l} ≤ {prev}");
+                prev = l;
+            }
+            let cap = (2.0f32 * 4.0 - 1.0).ln();
+            assert!(prev < cap, "seed {seed}: τ=5 loss {prev} above ln(2N−1) {cap}");
+        }
     }
 
     #[test]

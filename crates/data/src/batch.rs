@@ -85,11 +85,7 @@ impl NegativeSampler {
 ///
 /// # Panics
 /// Panics if any provided sequence has fewer than 2 items.
-pub fn next_item_batch(
-    seqs: &[&[u32]],
-    t: usize,
-    sampler: &mut NegativeSampler,
-) -> NextItemBatch {
+pub fn next_item_batch(seqs: &[&[u32]], t: usize, sampler: &mut NegativeSampler) -> NextItemBatch {
     let b = seqs.len();
     let mut inputs = Vec::with_capacity(b * t);
     let mut pos = Vec::with_capacity(b * t);
@@ -197,7 +193,7 @@ mod tests {
         let mut sampler = NegativeSampler::new(2, 4);
         let exclude: HashSet<u32> = [1, 2].into_iter().collect();
         let s = sampler.sample(&exclude);
-        assert!(s >= 1 && s <= 2);
+        assert!((1..=2).contains(&s));
     }
 
     #[test]

@@ -63,9 +63,7 @@ pub fn parse_interactions(text: &str) -> Result<RawLog, CsvError> {
 }
 
 fn starts_with_integer(line: &str) -> bool {
-    line.split(',')
-        .next()
-        .is_some_and(|f| f.trim().parse::<u64>().is_ok())
+    line.split(',').next().is_some_and(|f| f.trim().parse::<u64>().is_ok())
 }
 
 fn parse_row(line: &str) -> Option<Interaction> {

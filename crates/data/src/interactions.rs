@@ -183,12 +183,7 @@ mod tests {
 
     #[test]
     fn build_groups_and_sorts_chronologically() {
-        let log = RawLog::new(vec![
-            ev(7, 100, 3),
-            ev(7, 200, 1),
-            ev(9, 100, 5),
-            ev(7, 300, 2),
-        ]);
+        let log = RawLog::new(vec![ev(7, 100, 3), ev(7, 200, 1), ev(9, 100, 5), ev(7, 300, 2)]);
         let ds = build_dataset(&log);
         assert_eq!(ds.num_users(), 2);
         assert_eq!(ds.num_items(), 3);

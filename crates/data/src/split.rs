@@ -104,8 +104,7 @@ impl Split {
         let mut users: Vec<usize> = (0..self.num_users()).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         users.shuffle(&mut rng);
-        let keep = ((self.num_users() as f64 * frac).round() as usize)
-            .clamp(1, self.num_users());
+        let keep = ((self.num_users() as f64 * frac).round() as usize).clamp(1, self.num_users());
         users.truncate(keep);
         users.sort_unstable();
         users
@@ -117,10 +116,7 @@ mod tests {
     use super::*;
 
     fn dataset() -> Dataset {
-        Dataset::new(
-            vec![vec![1, 2, 3, 4, 5], vec![2, 3, 4], vec![5, 1]],
-            5,
-        )
+        Dataset::new(vec![vec![1, 2, 3, 4, 5], vec![2, 3, 4], vec![5, 1]], 5)
     }
 
     #[test]

@@ -84,12 +84,7 @@ impl SyntheticConfig {
 
     /// All four presets in the paper's order.
     pub fn all_paper_presets(scale: f64) -> Vec<Self> {
-        vec![
-            Self::beauty(scale),
-            Self::sports(scale),
-            Self::toys(scale),
-            Self::yelp(scale),
-        ]
+        vec![Self::beauty(scale), Self::sports(scale), Self::toys(scale), Self::yelp(scale)]
     }
 
     fn preset(
@@ -127,8 +122,7 @@ pub fn generate_log(cfg: &SyntheticConfig) -> RawLog {
     assert!(cfg.avg_len > 5.0, "avg_len must exceed the 5-core threshold");
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let cat_of_item: Vec<usize> =
-        (0..cfg.num_items).map(|i| i % cfg.num_categories).collect();
+    let cat_of_item: Vec<usize> = (0..cfg.num_items).map(|i| i % cfg.num_categories).collect();
     // items of each category, by construction evenly spread
     let mut items_of_cat: Vec<Vec<u64>> = vec![Vec::new(); cfg.num_categories];
     for (i, &c) in cat_of_item.iter().enumerate() {
@@ -146,16 +140,14 @@ pub fn generate_log(cfg: &SyntheticConfig) -> RawLog {
     let zipf_samplers: Vec<WeightedIndex<f64>> = items_of_cat
         .iter()
         .map(|items| {
-            let w: Vec<f64> = (0..items.len())
-                .map(|r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_exponent))
-                .collect();
+            let w: Vec<f64> =
+                (0..items.len()).map(|r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_exponent)).collect();
             WeightedIndex::new(w).expect("non-empty category")
         })
         .collect();
     // Global popularity for noise events: Zipf over the whole catalog.
-    let global_weights: Vec<f64> = (0..cfg.num_items)
-        .map(|r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_exponent))
-        .collect();
+    let global_weights: Vec<f64> =
+        (0..cfg.num_items).map(|r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_exponent)).collect();
     let global_sampler = WeightedIndex::new(global_weights).expect("non-empty catalog");
 
     let mut events = Vec::new();
@@ -184,11 +176,7 @@ pub fn generate_log(cfg: &SyntheticConfig) -> RawLog {
                 let idx = zipf_samplers[cat].sample(&mut rng);
                 items_of_cat[cat][idx]
             };
-            events.push(Interaction {
-                user: user as u64,
-                item,
-                timestamp: t as i64,
-            });
+            events.push(Interaction { user: user as u64, item, timestamp: t as i64 });
             // category transition for the next event
             if rng.gen::<f64>() >= cfg.stay_prob {
                 cat = if rng.gen::<f64>() < 0.7 {

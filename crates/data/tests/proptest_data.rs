@@ -8,11 +8,7 @@ use seqrec_data::interactions::{build_dataset, Interaction, RawLog};
 use seqrec_data::Split;
 
 fn arb_log(max_events: usize) -> impl Strategy<Value = RawLog> {
-    proptest::collection::vec(
-        (0u64..30, 0u64..40, -50i64..50),
-        0..max_events,
-    )
-    .prop_map(|rows| {
+    proptest::collection::vec((0u64..30, 0u64..40, -50i64..50), 0..max_events).prop_map(|rows| {
         RawLog::new(
             rows.into_iter()
                 .map(|(user, item, timestamp)| Interaction { user, item, timestamp })

@@ -135,14 +135,7 @@ mod tests {
 
     fn runs_dataset() -> Dataset {
         // users interact with consecutive runs: 1,2,3,4,5 etc.
-        Dataset::new(
-            vec![
-                vec![1, 2, 3, 4, 5],
-                vec![2, 3, 4, 5, 6],
-                vec![3, 4, 5, 6, 7],
-            ],
-            50,
-        )
+        Dataset::new(vec![vec![1, 2, 3, 4, 5], vec![2, 3, 4, 5, 6], vec![3, 4, 5, 6, 7]], 50)
     }
 
     #[test]
@@ -173,7 +166,8 @@ mod tests {
             }
         }
         let split = Split::leave_one_out(&runs_dataset());
-        let m = evaluate(&Flat { num_items: 50 }, &split, EvalTarget::Test, &EvalOptions::default());
+        let m =
+            evaluate(&Flat { num_items: 50 }, &split, EvalTarget::Test, &EvalOptions::default());
         // all candidates tie → the target ranks behind every other candidate
         assert_eq!(m.hr_at(20), 0.0);
     }

@@ -86,11 +86,8 @@ impl DatasetResults {
     pub fn improvement(&self, base: &str, method: &str, metric: &str, k: usize) -> Option<f64> {
         let b = self.get(base)?;
         let m = self.get(method)?;
-        let (bv, mv) = if metric == "HR" {
-            (b.hr_at(k), m.hr_at(k))
-        } else {
-            (b.ndcg_at(k), m.ndcg_at(k))
-        };
+        let (bv, mv) =
+            if metric == "HR" { (b.hr_at(k), m.hr_at(k)) } else { (b.ndcg_at(k), m.ndcg_at(k)) };
         if bv <= 0.0 {
             return None;
         }

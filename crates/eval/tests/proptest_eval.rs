@@ -79,6 +79,92 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&m.mrr));
     }
 
+    /// Full-pipeline brute-force cross-check: metrics computed through
+    /// `rank_of_target` + `MetricsAccumulator` must equal HR@k / NDCG@k / MRR
+    /// re-derived from first principles — build each user's ranked
+    /// recommendation list by sorting the catalog by score (ties placed
+    /// above the target, matching the pessimistic convention) and read the
+    /// definitions straight off the list.
+    #[test]
+    fn accumulator_matches_brute_force_definitions(
+        users in proptest::collection::vec(
+            (proptest::collection::vec(-5.0f32..5.0, 6..25), 1u32..5),
+            1..20,
+        ),
+    ) {
+        let ks = [1usize, 5, 10];
+        let mut acc = MetricsAccumulator::new(&ks);
+        let mut bf_hits = [0usize; 3];
+        let mut bf_ndcg = [0.0f64; 3];
+        let mut bf_mrr = 0.0f64;
+
+        for (scores, target_raw) in &users {
+            let target = 1 + (*target_raw as usize - 1) % (scores.len() - 1);
+
+            // the production path
+            acc.push(rank_of_target(scores, target as u32, &[]));
+
+            // brute force: sort catalog ids 1.. by score descending, the
+            // target losing every tie, then read its list position.
+            let mut order: Vec<usize> = (1..scores.len()).collect();
+            order.sort_by(|&a, &b| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .unwrap()
+                    .then_with(|| (a == target).cmp(&(b == target)))
+            });
+            let pos = order.iter().position(|&i| i == target).unwrap();
+            bf_mrr += 1.0 / (pos + 1) as f64;
+            for (i, &k) in ks.iter().enumerate() {
+                if order.iter().take(k).any(|&i| i == target) {
+                    bf_hits[i] += 1;
+                    bf_ndcg[i] += 1.0 / ((pos + 2) as f64).log2();
+                }
+            }
+        }
+
+        let m = acc.finish();
+        let n = users.len() as f64;
+        for (i, &k) in ks.iter().enumerate() {
+            let hr = bf_hits[i] as f64 / n;
+            let ndcg = bf_ndcg[i] / n;
+            prop_assert!((m.hr_at(k) - hr).abs() < 1e-12,
+                         "HR@{k}: {} vs brute force {hr}", m.hr_at(k));
+            prop_assert!((m.ndcg_at(k) - ndcg).abs() < 1e-12,
+                         "NDCG@{k}: {} vs brute force {ndcg}", m.ndcg_at(k));
+        }
+        prop_assert!((m.mrr - bf_mrr / n).abs() < 1e-12);
+    }
+
+    /// Merging the accumulators of an *arbitrary* sharding of the user
+    /// population — any number of shards, any assignment, including empty
+    /// shards — equals pushing every rank sequentially.
+    #[test]
+    fn merge_of_arbitrary_shards_equals_sequential_push(
+        ranks in proptest::collection::vec(0usize..200, 1..60),
+        num_shards in 1usize..6,
+        assign_seed in proptest::collection::vec(0usize..6, 60),
+    ) {
+        let mut whole = MetricsAccumulator::paper();
+        let mut shards: Vec<MetricsAccumulator> =
+            (0..num_shards).map(|_| MetricsAccumulator::paper()).collect();
+        for (i, &r) in ranks.iter().enumerate() {
+            whole.push(r);
+            shards[assign_seed[i] % num_shards].push(r);
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s);
+        }
+        let (mm, mw) = (merged.finish(), whole.finish());
+        prop_assert_eq!(mm.users, mw.users);
+        prop_assert_eq!(&mm.hr, &mw.hr, "HR differs");
+        for (a, b) in mm.ndcg.iter().zip(&mw.ndcg) {
+            prop_assert!((a - b).abs() < 1e-9, "NDCG differs: {a} vs {b}");
+        }
+        prop_assert!((mm.mrr - mw.mrr).abs() < 1e-9, "MRR differs");
+    }
+
     /// MRR is bounded below by NDCG-at-infinity intuition: rank 0 users
     /// contribute 1.0 to all three; a rank beyond every k contributes only
     /// to MRR.

@@ -33,20 +33,20 @@ struct Fig4Results {
 
 fn main() {
     let args = ExpArgs::parse("fig4", "single-augmentation proportion sweep (Figure 4, RQ2)");
-    println!(
-        "## Figure 4 — augmentation sweep (scale {}, rates {RATES:?})\n",
-        args.scale
-    );
+    println!("## Figure 4 — augmentation sweep (scale {}, rates {RATES:?})\n", args.scale);
 
     let mut out = Fig4Results { baselines: Vec::new(), points: Vec::new() };
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
         let (base, _) = run_sasrec_with(&prep, &args, None);
         eprintln!("[{name}] SASRec baseline: HR@10 {:.4}", base.hr_at(10));
-        out.baselines
-            .push((name.clone(), base.hr_at(10), base.ndcg_at(10)));
+        out.baselines.push((name.clone(), base.hr_at(10), base.ndcg_at(10)));
 
-        println!("### {name} (SASRec baseline: HR@10 {:.4}, NDCG@10 {:.4})", base.hr_at(10), base.ndcg_at(10));
+        println!(
+            "### {name} (SASRec baseline: HR@10 {:.4}, NDCG@10 {:.4})",
+            base.hr_at(10),
+            base.ndcg_at(10)
+        );
         println!("| operator | rate | HR@10 | NDCG@10 |");
         println!("|---|---|---|---|");
         let mask_token = (prep.dataset.num_items() + 1) as u32;
@@ -58,10 +58,7 @@ fn main() {
                     _ => AugmentationSet::single(Reorder { beta: rate }),
                 };
                 let (m, secs) = run_cl4srec_with(&prep, &augs, &args, None);
-                eprintln!(
-                    "[{name}] {op} {rate}: HR@10 {:.4} ({secs:.0}s)",
-                    m.hr_at(10)
-                );
+                eprintln!("[{name}] {op} {rate}: HR@10 {:.4} ({secs:.0}s)", m.hr_at(10));
                 println!("| {op} | {rate} | {:.4} | {:.4} |", m.hr_at(10), m.ndcg_at(10));
                 out.points.push(SweepPoint {
                     dataset: name.clone(),

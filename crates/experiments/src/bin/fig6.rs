@@ -29,10 +29,7 @@ fn main() {
     if args.datasets.len() == 4 {
         args.datasets = vec!["beauty".into(), "yelp".into()];
     }
-    println!(
-        "## Figure 6 — impact of the amount of training data (scale {}, γ=0.5)\n",
-        args.scale
-    );
+    println!("## Figure 6 — impact of the amount of training data (scale {}, γ=0.5)\n", args.scale);
 
     let mut out: Vec<SparsityPoint> = Vec::new();
     for name in &args.datasets {
@@ -42,11 +39,8 @@ fn main() {
         println!("| fraction | SASRec HR@10 | CL4SRec HR@10 | SASRec NDCG@10 | CL4SRec NDCG@10 |");
         println!("|---|---|---|---|---|");
         for frac in FRACTIONS {
-            let users = if frac < 1.0 {
-                Some(prep.split.train_user_subset(frac, args.seed))
-            } else {
-                None
-            };
+            let users =
+                if frac < 1.0 { Some(prep.split.train_user_subset(frac, args.seed)) } else { None };
             let (sas, _) = run_sasrec_with(&prep, &args, users.clone());
             let augs = AugmentationSet::single(Mask { gamma: 0.5, mask_token });
             let (cl, _) = run_cl4srec_with(&prep, &augs, &args, users);

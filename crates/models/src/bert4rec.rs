@@ -59,7 +59,10 @@ impl Bert4Rec {
     /// Cloze loss over one batch of raw training sequences: mask a random
     /// subset of positions (at least one per sequence) and predict the
     /// original items.
-    fn cloze_loss(
+    ///
+    /// Public so the conformance suite can gradcheck and golden-pin the
+    /// exact training objective `fit` optimises.
+    pub fn cloze_loss(
         &self,
         step: &mut Step,
         seqs: &[&[u32]],
@@ -74,8 +77,7 @@ impl Bert4Rec {
         let mut targets: Vec<u32> = Vec::new();
         for (bi, seq) in seqs.iter().enumerate() {
             let (mut row, v) = pad_left(seq, t);
-            let real: Vec<usize> =
-                (0..t).filter(|&i| v[i]).collect();
+            let real: Vec<usize> = (0..t).filter(|&i| v[i]).collect();
             assert!(!real.is_empty(), "cannot cloze-train an empty sequence");
             let mut masked_any = false;
             for &i in &real {
@@ -125,8 +127,7 @@ impl Bert4Rec {
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
             for chunk in epoch_batches(&users, opts.batch_size, opts.seed + epoch as u64) {
-                let seqs: Vec<&[u32]> =
-                    chunk.iter().map(|&u| split.train_sequence(u)).collect();
+                let seqs: Vec<&[u32]> = chunk.iter().map(|&u| split.train_sequence(u)).collect();
                 let mut step = Step::new();
                 let loss = self.cloze_loss(&mut step, &seqs, true, &mut r);
                 let grads = step.tape.backward(loss);
@@ -135,12 +136,8 @@ impl Bert4Rec {
                 batches += 1;
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 = crate::common::probe_valid_hr10(
-                self,
-                split,
-                opts.valid_probe_users,
-                opts.seed,
-            );
+            let hr10 =
+                crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed);
             if opts.verbose {
                 println!("[bert4rec] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {hr10:.4}");
             }
@@ -188,11 +185,7 @@ impl SequenceScorer for Bert4Rec {
         let repr_val = step.tape.value(repr).clone();
         let scores = linalg::matmul_nt(&repr_val, self.encoder.item_embedding().table().value());
         let keep = self.cfg.encoder.num_items + 1;
-        scores
-            .data()
-            .chunks(self.cfg.encoder.vocab())
-            .map(|row| row[..keep].to_vec())
-            .collect()
+        scores.data().chunks(self.cfg.encoder.vocab()).map(|row| row[..keep].to_vec()).collect()
     }
 }
 
@@ -218,11 +211,7 @@ mod tests {
 
     fn cyclic_dataset(num_items: usize, users: usize, len: usize) -> Dataset {
         let seqs = (0..users)
-            .map(|u| {
-                (0..len)
-                    .map(|i| ((u + i) % num_items) as u32 + 1)
-                    .collect::<Vec<u32>>()
-            })
+            .map(|u| (0..len).map(|i| ((u + i) % num_items) as u32 + 1).collect::<Vec<u32>>())
             .collect();
         Dataset::new(seqs, num_items)
     }

@@ -12,7 +12,7 @@ use seqrec_eval::SequenceScorer;
 use seqrec_tensor::init::{self, rng};
 use seqrec_tensor::nn::{HasParams, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig};
-use seqrec_tensor::{linalg, Tensor};
+use seqrec_tensor::{linalg, Tensor, Var};
 use serde::{Deserialize, Serialize};
 
 use crate::common::{EarlyStopper, EpochLog, TrainOptions, TrainReport};
@@ -62,6 +62,32 @@ impl BprMf {
         self.item_emb.value()
     }
 
+    /// Mean BPR loss over a batch of `(user, positive, negative)` triples.
+    ///
+    /// Public so the conformance suite can gradcheck and golden-pin the
+    /// exact training objective `fit` optimises.
+    pub fn bpr_loss(
+        &self,
+        step: &mut Step,
+        u_ids: &[u32],
+        pos_ids: &[u32],
+        neg_ids: &[u32],
+    ) -> Var {
+        let n = u_ids.len();
+        assert!(n > 0 && pos_ids.len() == n && neg_ids.len() == n);
+        let ut = self.user_emb.var(step);
+        let it = self.item_emb.var(step);
+        let ue = step.tape.embedding(ut, u_ids, &[n]);
+        let pe = step.tape.embedding(it, pos_ids, &[n]);
+        let ne = step.tape.embedding(it, neg_ids, &[n]);
+        let pos_prod = step.tape.mul(ue, pe);
+        let pos_logit = step.tape.sum_rows(pos_prod);
+        let neg_prod = step.tape.mul(ue, ne);
+        let neg_logit = step.tape.sum_rows(neg_prod);
+        let losses = step.tape.bpr(pos_logit, neg_logit);
+        step.tape.mean_all(losses)
+    }
+
     /// Trains with Adam on uniformly sampled `(u, i⁺, i⁻)` triples: one
     /// positive per training interaction per epoch.
     pub fn fit(&mut self, split: &Split, opts: &TrainOptions) -> TrainReport {
@@ -102,30 +128,15 @@ impl BprMf {
                     }
                 }
                 let mut step = Step::new();
-                let ut = self.user_emb.var(&mut step);
-                let it = self.item_emb.var(&mut step);
-                let n = u_ids.len();
-                let ue = step.tape.embedding(ut, &u_ids, &[n]);
-                let pe = step.tape.embedding(it, &pos_ids, &[n]);
-                let ne = step.tape.embedding(it, &neg_ids, &[n]);
-                let pos_prod = step.tape.mul(ue, pe);
-                let pos_logit = step.tape.sum_rows(pos_prod);
-                let neg_prod = step.tape.mul(ue, ne);
-                let neg_logit = step.tape.sum_rows(neg_prod);
-                let losses = step.tape.bpr(pos_logit, neg_logit);
-                let loss = step.tape.mean_all(losses);
+                let loss = self.bpr_loss(&mut step, &u_ids, &pos_ids, &neg_ids);
                 let grads = step.tape.backward(loss);
                 adam.step(self, &step, &grads);
                 loss_sum += step.tape.value(loss).item() as f64;
                 batches += 1;
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 = crate::common::probe_valid_hr10(
-                self,
-                split,
-                opts.valid_probe_users,
-                opts.seed,
-            );
+            let hr10 =
+                crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed);
             if opts.verbose {
                 println!("[bpr-mf] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {hr10:.4}");
             }
@@ -165,11 +176,7 @@ impl SequenceScorer for BprMf {
         }
         let u_mat = Tensor::from_vec([users.len(), d], u_rows);
         let scores = linalg::matmul_nt(&u_mat, self.item_emb.value());
-        scores
-            .data()
-            .chunks(self.num_items + 1)
-            .map(<[f32]>::to_vec)
-            .collect()
+        scores.data().chunks(self.num_items + 1).map(<[f32]>::to_vec).collect()
     }
 }
 
@@ -183,11 +190,8 @@ mod tests {
     fn two_communities() -> Dataset {
         let mut seqs = Vec::new();
         for u in 0..30 {
-            let base: Vec<u32> = if u % 2 == 0 {
-                vec![1, 2, 3, 4, 5]
-            } else {
-                vec![6, 7, 8, 9, 10]
-            };
+            let base: Vec<u32> =
+                if u % 2 == 0 { vec![1, 2, 3, 4, 5] } else { vec![6, 7, 8, 9, 10] };
             // rotate so targets vary within the community
             let rot = u / 2 % 5;
             seqs.push(base[rot..].iter().chain(&base[..rot]).copied().collect());

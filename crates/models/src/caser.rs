@@ -94,16 +94,11 @@ impl Caser {
             .iter()
             .map(|&h| Linear::new(&format!("caser.h{h}"), h * d, cfg.n_h, &mut r))
             .collect();
-        let v_filters = Param::new(
-            "caser.v",
-            init::xavier_uniform(cfg.window, cfg.n_v, &mut r),
-        );
+        let v_filters = Param::new("caser.v", init::xavier_uniform(cfg.window, cfg.n_v, &mut r));
         let conv_dim = cfg.heights.len() * cfg.n_h + cfg.n_v * d;
         let fc = Linear::new("caser.fc", conv_dim, d, &mut r);
-        let out_w = Param::new(
-            "caser.out_w",
-            init::normal([cfg.num_items + 1, 2 * d], 0.05, &mut r),
-        );
+        let out_w =
+            Param::new("caser.out_w", init::normal([cfg.num_items + 1, 2 * d], 0.05, &mut r));
         let out_b = Param::new("caser.out_b", Tensor::zeros([cfg.num_items + 1]));
         Caser { cfg, item_emb, user_emb, h_filters, v_filters, fc, out_w, out_b, num_users }
     }
@@ -163,6 +158,31 @@ impl Caser {
         step.tape.add(dots, bias)
     }
 
+    /// The full training objective over one batch of `(window, user,
+    /// positive, negative)` examples: mean pairwise BCE of positive vs
+    /// negative logits. `ids` holds `u_ids.len()` left-padded windows of
+    /// length `cfg.window`, flattened.
+    ///
+    /// Public so the conformance suite can gradcheck and golden-pin the
+    /// exact training objective `fit` optimises.
+    #[allow(clippy::too_many_arguments)] // mirrors the (window, user, pos, neg) batch layout
+    pub fn bce_loss(
+        &self,
+        step: &mut Step,
+        ids: &[u32],
+        u_ids: &[u32],
+        pos_ids: &[u32],
+        neg_ids: &[u32],
+        training: bool,
+        r: &mut TensorRng,
+    ) -> Var {
+        let repr = self.joint_repr(step, ids, u_ids, training, r);
+        let pos = self.logits_for(step, repr, pos_ids);
+        let neg = self.logits_for(step, repr, neg_ids);
+        let losses = step.tape.bce_pairwise(pos, neg);
+        step.tape.mean_all(losses)
+    }
+
     /// Trains on sliding `(last L items → next item)` windows with one
     /// sampled negative per positive.
     pub fn fit(&mut self, split: &Split, opts: &TrainOptions) -> TrainReport {
@@ -203,23 +223,15 @@ impl Caser {
                     }
                 }
                 let mut step = Step::new();
-                let repr = self.joint_repr(&mut step, &ids, &u_ids, true, &mut r);
-                let pos = self.logits_for(&mut step, repr, &pos_ids);
-                let neg = self.logits_for(&mut step, repr, &neg_ids);
-                let losses = step.tape.bce_pairwise(pos, neg);
-                let loss = step.tape.mean_all(losses);
+                let loss = self.bce_loss(&mut step, &ids, &u_ids, &pos_ids, &neg_ids, true, &mut r);
                 let grads = step.tape.backward(loss);
                 adam.step(self, &step, &grads);
                 loss_sum += step.tape.value(loss).item() as f64;
                 batches += 1;
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 = crate::common::probe_valid_hr10(
-                self,
-                split,
-                opts.valid_probe_users,
-                opts.seed,
-            );
+            let hr10 =
+                crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed);
             if opts.verbose {
                 println!("[caser] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {hr10:.4}");
             }
@@ -297,12 +309,7 @@ impl SequenceScorer for Caser {
         scores
             .data()
             .chunks(v)
-            .map(|row| {
-                row.iter()
-                    .zip(self.out_b.value().data())
-                    .map(|(&s, &b)| s + b)
-                    .collect()
-            })
+            .map(|row| row.iter().zip(self.out_b.value().data()).map(|(&s, &b)| s + b).collect())
             .collect()
     }
 }
@@ -327,11 +334,7 @@ mod tests {
 
     fn cyclic_dataset(num_items: usize, users: usize, len: usize) -> Dataset {
         let seqs = (0..users)
-            .map(|u| {
-                (0..len)
-                    .map(|i| ((u + i) % num_items) as u32 + 1)
-                    .collect::<Vec<u32>>()
-            })
+            .map(|u| (0..len).map(|i| ((u + i) % num_items) as u32 + 1).collect::<Vec<u32>>())
             .collect();
         Dataset::new(seqs, num_items)
     }

@@ -57,7 +57,7 @@ impl EncoderConfig {
 
     fn validate(&self) {
         assert!(self.num_items > 0, "empty catalog");
-        assert!(self.d > 0 && self.d % self.heads == 0, "d must divide heads");
+        assert!(self.d > 0 && self.d.is_multiple_of(self.heads), "d must divide heads");
         assert!(self.layers > 0 && self.max_len > 0);
         assert!((0.0..1.0).contains(&self.dropout));
     }
@@ -98,14 +98,9 @@ impl HasParams for Block {
         self.ln_ffn.visit(f);
     }
     fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
-        for m in [
-            &mut self.wq,
-            &mut self.wk,
-            &mut self.wv,
-            &mut self.wo,
-            &mut self.ffn1,
-            &mut self.ffn2,
-        ] {
+        for m in
+            [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo, &mut self.ffn1, &mut self.ffn2]
+        {
             m.visit_mut(f);
         }
         self.ln_attn.visit_mut(f);
@@ -126,13 +121,9 @@ impl TransformerEncoder {
     pub fn new(cfg: EncoderConfig, rng: &mut TensorRng) -> Self {
         cfg.validate();
         let item_emb = Embedding::new("enc.item", cfg.vocab(), cfg.d, rng);
-        let pos_emb = Param::new(
-            "enc.pos",
-            init::paper_default([cfg.max_len, cfg.d], rng),
-        );
-        let blocks = (0..cfg.layers)
-            .map(|l| Block::new(&format!("enc.block{l}"), cfg.d, rng))
-            .collect();
+        let pos_emb = Param::new("enc.pos", init::paper_default([cfg.max_len, cfg.d], rng));
+        let blocks =
+            (0..cfg.layers).map(|l| Block::new(&format!("enc.block{l}"), cfg.d, rng)).collect();
         TransformerEncoder { cfg, item_emb, pos_emb, blocks }
     }
 
@@ -204,11 +195,7 @@ impl TransformerEncoder {
         x = step.tape.dropout(x, p, training, rng);
 
         // Attention mask, shared by all layers.
-        let mask = if causal {
-            causal_padding_mask(valid, t)
-        } else {
-            padding_mask(valid, t)
-        };
+        let mask = if causal { causal_padding_mask(valid, t) } else { padding_mask(valid, t) };
 
         for block in &self.blocks {
             // Multi-head self-attention (Eq. 9-10).

@@ -17,7 +17,7 @@ use seqrec_eval::SequenceScorer;
 use seqrec_tensor::init::{self, rng};
 use seqrec_tensor::nn::{HasParams, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig};
-use seqrec_tensor::{linalg, Tensor};
+use seqrec_tensor::{linalg, Tensor, Var};
 use serde::{Deserialize, Serialize};
 
 use crate::common::{EarlyStopper, EpochLog, TrainOptions, TrainReport};
@@ -69,6 +69,44 @@ impl Fpmc {
         }
     }
 
+    /// Mean BPR loss over a batch of `(user, previous item, positive,
+    /// negative)` transitions — Eq. 7 of Rendle et al. with the two additive
+    /// factorisations `v^{U,I}·v^{I,U}` and `v^{L,I}·v^{I,L}`.
+    ///
+    /// Public so the conformance suite can gradcheck and golden-pin the
+    /// exact training objective `fit` optimises.
+    pub fn bpr_loss(
+        &self,
+        step: &mut Step,
+        u_ids: &[u32],
+        last_ids: &[u32],
+        pos_ids: &[u32],
+        neg_ids: &[u32],
+    ) -> Var {
+        let n = u_ids.len();
+        assert!(n > 0 && last_ids.len() == n && pos_ids.len() == n && neg_ids.len() == n);
+        let (ut, iut) = (self.user_ui.var(step), self.item_iu.var(step));
+        let (lt, ilt) = (self.last_li.var(step), self.item_il.var(step));
+        let ue = step.tape.embedding(ut, u_ids, &[n]);
+        let le = step.tape.embedding(lt, last_ids, &[n]);
+        let pos_iu = step.tape.embedding(iut, pos_ids, &[n]);
+        let pos_il = step.tape.embedding(ilt, pos_ids, &[n]);
+        let neg_iu = step.tape.embedding(iut, neg_ids, &[n]);
+        let neg_il = step.tape.embedding(ilt, neg_ids, &[n]);
+
+        let score = |step: &mut Step, iu: Var, il: Var| {
+            let mf = step.tape.mul(ue, iu);
+            let mf = step.tape.sum_rows(mf);
+            let mc = step.tape.mul(le, il);
+            let mc = step.tape.sum_rows(mc);
+            step.tape.add(mf, mc)
+        };
+        let pos = score(step, pos_iu, pos_il);
+        let neg = score(step, neg_iu, neg_il);
+        let losses = step.tape.bpr(pos, neg);
+        step.tape.mean_all(losses)
+    }
+
     /// Trains with BPR on every consecutive `(prev → next)` transition of
     /// every training sequence, once per epoch.
     pub fn fit(&mut self, split: &Split, opts: &TrainOptions) -> TrainReport {
@@ -108,42 +146,16 @@ impl Fpmc {
                         neg_ids.push(sampler.sample(&exclude));
                     }
                 }
-                let n = u_ids.len();
                 let mut step = Step::new();
-                let (ut, iut) = (self.user_ui.var(&mut step), self.item_iu.var(&mut step));
-                let (lt, ilt) = (self.last_li.var(&mut step), self.item_il.var(&mut step));
-                let ue = step.tape.embedding(ut, &u_ids, &[n]);
-                let le = step.tape.embedding(lt, &last_ids, &[n]);
-                let pos_iu = step.tape.embedding(iut, &pos_ids, &[n]);
-                let pos_il = step.tape.embedding(ilt, &pos_ids, &[n]);
-                let neg_iu = step.tape.embedding(iut, &neg_ids, &[n]);
-                let neg_il = step.tape.embedding(ilt, &neg_ids, &[n]);
-
-                let score = |step: &mut Step,
-                             iu: seqrec_tensor::Var,
-                             il: seqrec_tensor::Var| {
-                    let mf = step.tape.mul(ue, iu);
-                    let mf = step.tape.sum_rows(mf);
-                    let mc = step.tape.mul(le, il);
-                    let mc = step.tape.sum_rows(mc);
-                    step.tape.add(mf, mc)
-                };
-                let pos = score(&mut step, pos_iu, pos_il);
-                let neg = score(&mut step, neg_iu, neg_il);
-                let losses = step.tape.bpr(pos, neg);
-                let loss = step.tape.mean_all(losses);
+                let loss = self.bpr_loss(&mut step, &u_ids, &last_ids, &pos_ids, &neg_ids);
                 let grads = step.tape.backward(loss);
                 adam.step(self, &step, &grads);
                 loss_sum += step.tape.value(loss).item() as f64;
                 batches += 1;
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 = crate::common::probe_valid_hr10(
-                self,
-                split,
-                opts.valid_probe_users,
-                opts.seed,
-            );
+            let hr10 =
+                crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed);
             if opts.verbose {
                 println!("[fpmc] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {hr10:.4}");
             }
@@ -190,14 +202,10 @@ impl SequenceScorer for Fpmc {
             let last = seq.last().copied().unwrap_or(0) as usize;
             l_rows.extend_from_slice(&self.last_li.value().data()[last * d..(last + 1) * d]);
         }
-        let mf = linalg::matmul_nt(
-            &Tensor::from_vec([users.len(), d], u_rows),
-            self.item_iu.value(),
-        );
-        let mc = linalg::matmul_nt(
-            &Tensor::from_vec([users.len(), d], l_rows),
-            self.item_il.value(),
-        );
+        let mf =
+            linalg::matmul_nt(&Tensor::from_vec([users.len(), d], u_rows), self.item_iu.value());
+        let mc =
+            linalg::matmul_nt(&Tensor::from_vec([users.len(), d], l_rows), self.item_il.value());
         mf.add(&mc).data().chunks(v).map(<[f32]>::to_vec).collect()
     }
 }
@@ -212,11 +220,7 @@ mod tests {
     /// i % n + 1 — exactly what a Markov factorisation should nail.
     fn chain_dataset(num_items: usize, users: usize, len: usize) -> Dataset {
         let seqs = (0..users)
-            .map(|u| {
-                (0..len)
-                    .map(|i| ((u + i) % num_items) as u32 + 1)
-                    .collect::<Vec<u32>>()
-            })
+            .map(|u| (0..len).map(|i| ((u + i) % num_items) as u32 + 1).collect::<Vec<u32>>())
             .collect();
         Dataset::new(seqs, num_items)
     }
@@ -225,12 +229,7 @@ mod tests {
     fn learns_first_order_transitions() {
         let ds = chain_dataset(8, 60, 8);
         let split = Split::leave_one_out(&ds);
-        let mut model = Fpmc::new(
-            FpmcConfig { d: 16, weight_decay: 0.0 },
-            split.num_users(),
-            8,
-            1,
-        );
+        let mut model = Fpmc::new(FpmcConfig { d: 16, weight_decay: 0.0 }, split.num_users(), 8, 1);
         let opts = TrainOptions {
             epochs: 30,
             batch_size: 32,

@@ -4,7 +4,9 @@
 //! fair comparison (and following the paper's re-implementation practice)
 //! training uses the same per-position positive/negative BCE as SASRec.
 
-use seqrec_data::batch::{epoch_batches, next_item_batch, pad_left, NegativeSampler, NextItemBatch};
+use seqrec_data::batch::{
+    epoch_batches, next_item_batch, pad_left, NegativeSampler, NextItemBatch,
+};
 use seqrec_data::Split;
 use seqrec_eval::SequenceScorer;
 use seqrec_tensor::init::{rng, TensorRng};
@@ -105,14 +107,9 @@ impl HasParams for GruCell {
         }
     }
     fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
-        for m in [
-            &mut self.wz,
-            &mut self.uz,
-            &mut self.wr,
-            &mut self.ur,
-            &mut self.wh,
-            &mut self.uh,
-        ] {
+        for m in
+            [&mut self.wz, &mut self.uz, &mut self.wr, &mut self.ur, &mut self.wh, &mut self.uh]
+        {
             m.visit_mut(f);
         }
     }
@@ -168,7 +165,10 @@ impl Gru4Rec {
     }
 
     /// Eq. 15-style loss over every valid position.
-    fn next_item_loss(
+    ///
+    /// Public so the conformance suite can gradcheck and golden-pin the
+    /// exact training objective `fit` optimises.
+    pub fn next_item_loss(
         &self,
         step: &mut Step,
         batch: &NextItemBatch,
@@ -224,8 +224,7 @@ impl Gru4Rec {
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
             for chunk in epoch_batches(&users, opts.batch_size, opts.seed + epoch as u64) {
-                let seqs: Vec<&[u32]> =
-                    chunk.iter().map(|&u| split.train_sequence(u)).collect();
+                let seqs: Vec<&[u32]> = chunk.iter().map(|&u| split.train_sequence(u)).collect();
                 let batch = next_item_batch(&seqs, self.cfg.max_len, &mut sampler);
                 let mut step = Step::new();
                 let loss = self.next_item_loss(&mut step, &batch, true, &mut r);
@@ -235,12 +234,8 @@ impl Gru4Rec {
                 batches += 1;
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 = crate::common::probe_valid_hr10(
-                self,
-                split,
-                opts.valid_probe_users,
-                opts.seed,
-            );
+            let hr10 =
+                crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed);
             if opts.verbose {
                 println!("[gru4rec] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {hr10:.4}");
             }
@@ -286,11 +281,7 @@ impl SequenceScorer for Gru4Rec {
         let repr = step.tape.value(last).clone();
         let scores = linalg::matmul_nt(&repr, self.item_emb.table().value());
         let keep = self.cfg.num_items + 1;
-        scores
-            .data()
-            .chunks(self.cfg.num_items + 2)
-            .map(|row| row[..keep].to_vec())
-            .collect()
+        scores.data().chunks(self.cfg.num_items + 2).map(|row| row[..keep].to_vec()).collect()
     }
 }
 
@@ -306,11 +297,7 @@ mod tests {
 
     fn cyclic_dataset(num_items: usize, users: usize, len: usize) -> Dataset {
         let seqs = (0..users)
-            .map(|u| {
-                (0..len)
-                    .map(|i| ((u + i) % num_items) as u32 + 1)
-                    .collect::<Vec<u32>>()
-            })
+            .map(|u| (0..len).map(|i| ((u + i) % num_items) as u32 + 1).collect::<Vec<u32>>())
             .collect();
         Dataset::new(seqs, num_items)
     }

@@ -91,6 +91,25 @@ impl Ncf {
         step.tape.reshape(logit, [n])
     }
 
+    /// Mean pairwise BCE loss over a batch of `(user, positive, negative)`
+    /// triples: `-log σ(s(u,i⁺)) - log(1 - σ(s(u,i⁻)))`.
+    ///
+    /// Public so the conformance suite can gradcheck and golden-pin the
+    /// exact training objective `fit` optimises.
+    pub fn bce_loss(
+        &self,
+        step: &mut Step,
+        u_ids: &[u32],
+        pos_ids: &[u32],
+        neg_ids: &[u32],
+    ) -> Var {
+        assert!(!u_ids.is_empty() && pos_ids.len() == u_ids.len());
+        let pos_logit = self.forward(step, u_ids, pos_ids);
+        let neg_logit = self.forward(step, u_ids, neg_ids);
+        let losses = step.tape.bce_pairwise(pos_logit, neg_logit);
+        step.tape.mean_all(losses)
+    }
+
     /// Trains with pointwise BCE on `(u, i⁺)` vs one sampled `(u, i⁻)`.
     pub fn fit(&mut self, split: &Split, opts: &TrainOptions) -> TrainReport {
         assert_eq!(split.num_users(), self.num_users, "split/model user mismatch");
@@ -125,22 +144,15 @@ impl Ncf {
                     }
                 }
                 let mut step = Step::new();
-                let pos_logit = self.forward(&mut step, &u_ids, &pos_ids);
-                let neg_logit = self.forward(&mut step, &u_ids, &neg_ids);
-                let losses = step.tape.bce_pairwise(pos_logit, neg_logit);
-                let loss = step.tape.mean_all(losses);
+                let loss = self.bce_loss(&mut step, &u_ids, &pos_ids, &neg_ids);
                 let grads = step.tape.backward(loss);
                 adam.step(self, &step, &grads);
                 loss_sum += step.tape.value(loss).item() as f64;
                 batches += 1;
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 = crate::common::probe_valid_hr10(
-                self,
-                split,
-                opts.valid_probe_users,
-                opts.seed,
-            );
+            let hr10 =
+                crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed);
             if opts.verbose {
                 println!("[ncf] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {hr10:.4}");
             }
@@ -206,11 +218,8 @@ mod tests {
     fn two_communities() -> Dataset {
         let mut seqs = Vec::new();
         for u in 0..30 {
-            let base: Vec<u32> = if u % 2 == 0 {
-                vec![1, 2, 3, 4, 5]
-            } else {
-                vec![6, 7, 8, 9, 10]
-            };
+            let base: Vec<u32> =
+                if u % 2 == 0 { vec![1, 2, 3, 4, 5] } else { vec![6, 7, 8, 9, 10] };
             let rot = u / 2 % 5;
             seqs.push(base[rot..].iter().chain(&base[..rot]).copied().collect());
         }

@@ -5,7 +5,9 @@
 //! encoder output is scored against the true next item and one sampled
 //! negative with binary cross-entropy.
 
-use seqrec_data::batch::{epoch_batches, next_item_batch, pad_left, NegativeSampler, NextItemBatch};
+use seqrec_data::batch::{
+    epoch_batches, next_item_batch, pad_left, NegativeSampler, NextItemBatch,
+};
 use seqrec_data::Split;
 use seqrec_eval::SequenceScorer;
 use seqrec_tensor::init::{rng, TensorRng};
@@ -75,19 +77,11 @@ impl SasRec {
         training: bool,
         r: &mut TensorRng,
     ) -> Var {
-        let hidden = self
-            .encoder
-            .encode(step, &batch.inputs, &batch.valid, training, r);
+        let hidden = self.encoder.encode(step, &batch.inputs, &batch.valid, training, r);
         let d = self.encoder.config().d;
         let flat = step.tape.reshape(hidden, [batch.b * batch.t, d]);
-        let pos_e = self
-            .encoder
-            .item_embedding()
-            .forward(step, &batch.pos, &[batch.b * batch.t]);
-        let neg_e = self
-            .encoder
-            .item_embedding()
-            .forward(step, &batch.neg, &[batch.b * batch.t]);
+        let pos_e = self.encoder.item_embedding().forward(step, &batch.pos, &[batch.b * batch.t]);
+        let neg_e = self.encoder.item_embedding().forward(step, &batch.neg, &[batch.b * batch.t]);
         let pos_prod = step.tape.mul(flat, pos_e);
         let pos_logit = step.tape.sum_rows(pos_prod);
         let neg_prod = step.tape.mul(flat, neg_e);
@@ -128,8 +122,7 @@ impl SasRec {
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
             for chunk in epoch_batches(&users, opts.batch_size, opts.seed + epoch as u64) {
-                let seqs: Vec<&[u32]> =
-                    chunk.iter().map(|&u| split.train_sequence(u)).collect();
+                let seqs: Vec<&[u32]> = chunk.iter().map(|&u| split.train_sequence(u)).collect();
                 let batch = next_item_batch(&seqs, t, &mut sampler);
                 let mut step = Step::new();
                 let loss = self.next_item_loss(&mut step, &batch, true, &mut r);
@@ -140,12 +133,8 @@ impl SasRec {
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
 
-            let hr10 = crate::common::probe_valid_hr10(
-                self,
-                split,
-                opts.valid_probe_users,
-                opts.seed,
-            );
+            let hr10 =
+                crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed);
             if opts.verbose {
                 println!("[sasrec] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {hr10:.4}");
             }
@@ -217,11 +206,7 @@ mod tests {
     /// item i is always followed by i+1 (cyclic over a small alphabet).
     fn cyclic_dataset(num_items: usize, users: usize, len: usize) -> Dataset {
         let seqs = (0..users)
-            .map(|u| {
-                (0..len)
-                    .map(|i| ((u + i) % num_items) as u32 + 1)
-                    .collect::<Vec<u32>>()
-            })
+            .map(|u| (0..len).map(|i| ((u + i) % num_items) as u32 + 1).collect::<Vec<u32>>())
             .collect();
         Dataset::new(seqs, num_items)
     }

@@ -5,7 +5,7 @@
 //! forward passes (attention blocks, GRU cells, losses), which is the
 //! strongest correctness evidence a from-scratch autograd can offer.
 
-use crate::nn::param::Step;
+use crate::nn::param::{HasParams, Step};
 use crate::tape::Var;
 use crate::tensor::Tensor;
 
@@ -42,12 +42,7 @@ pub fn check_gradients(
     let analytic: Vec<Tensor> = vars
         .iter()
         .zip(inputs)
-        .map(|(&v, t)| {
-            grads
-                .get(v)
-                .cloned()
-                .unwrap_or_else(|| Tensor::zeros(t.shape().clone()))
-        })
+        .map(|(&v, t)| grads.get(v).cloned().unwrap_or_else(|| Tensor::zeros(t.shape().clone())))
         .collect();
 
     let eval = |perturbed: &[Tensor]| -> f64 {
@@ -75,6 +70,124 @@ pub fn check_gradients(
     report
 }
 
+/// Checks the gradients of a scalar loss with respect to **every trainable
+/// parameter** of a model against central finite differences.
+///
+/// [`check_gradients`] perturbs explicit leaf tensors; models, however, bind
+/// their [`Param`](crate::nn::Param)s to the tape internally via
+/// `Param::var`, so leaves are out of the caller's reach. This variant walks
+/// the parameters through [`HasParams`] instead: analytic gradients are read
+/// back per parameter in visit order, numeric ones are obtained by nudging
+/// one scalar at a time through `visit_mut` and re-running the forward pass.
+///
+/// `f` receives the model and a fresh [`Step`] and must deterministically
+/// build a **one-element** loss — run with `training = false` and reseed any
+/// internal RNG on every call. The model is restored to its original values
+/// before returning.
+///
+/// # Panics
+/// Panics if `f` returns a non-scalar var.
+pub fn check_param_gradients<M: HasParams + ?Sized>(
+    model: &mut M,
+    f: impl Fn(&M, &mut Step) -> Var,
+    eps: f32,
+) -> GradCheckReport {
+    // Analytic gradients, captured in visit order. Parameters that did not
+    // influence the loss check as all-zero.
+    let mut step = Step::new();
+    let loss = f(model, &mut step);
+    let grads = step.tape.backward(loss);
+    let mut analytic: Vec<Tensor> = Vec::new();
+    model.visit(&mut |p| {
+        analytic.push(
+            p.grad(&step, &grads)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(p.value().shape().clone())),
+        );
+    });
+    drop(step);
+
+    let eval = |m: &M| -> f64 {
+        let mut step = Step::new();
+        let loss = f(m, &mut step);
+        step.tape.value(loss).item() as f64
+    };
+    // Reads/writes scalar `j` of the `pi`-th parameter in visit order.
+    // Probes SET absolute values (orig ± e) rather than adding deltas, so
+    // restoring the original bits afterwards is exact — an add/subtract
+    // round-trip in f32 would leave 1-ulp residue on the model.
+    let get = |m: &mut M, pi: usize, j: usize| -> f32 {
+        let mut k = 0usize;
+        let mut out = 0.0;
+        m.visit_mut(&mut |p| {
+            if k == pi {
+                out = p.value().data()[j];
+            }
+            k += 1;
+        });
+        out
+    };
+    let set = |m: &mut M, pi: usize, j: usize, v: f32| {
+        let mut k = 0usize;
+        m.visit_mut(&mut |p| {
+            if k == pi {
+                p.value_mut().data_mut()[j] = v;
+            }
+            k += 1;
+        });
+    };
+
+    // Central differences are unreliable within `eps` of a piecewise-linear
+    // kink (ReLU, max-pool): the probe straddles two linear pieces and the
+    // quotient lands between their slopes. A genuine backward bug shows the
+    // same error at *every* step size, while a kink crossing vanishes once
+    // the step shrinks past the distance to the kink — so elements that miss
+    // at `eps` are retried on a descending ladder and scored by their best.
+    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    for (pi, analytic_p) in analytic.iter().enumerate() {
+        for j in 0..analytic_p.len() {
+            let analytic_v = analytic_p.at(j) as f64;
+            let orig = get(model, pi, j);
+            let mut best_abs = f64::INFINITY;
+            let mut best_rel = f64::INFINITY;
+            for &e in &[eps, eps / 4.0, eps / 16.0] {
+                set(model, pi, j, orig + e);
+                let plus = eval(model);
+                set(model, pi, j, orig - e);
+                let minus = eval(model);
+                set(model, pi, j, orig); // bit-exact restore
+                let numeric = (plus - minus) / (2.0 * e as f64);
+                let abs = (analytic_v - numeric).abs();
+                let rel = abs / analytic_v.abs().max(numeric.abs()).max(1.0);
+                if rel < best_rel {
+                    best_rel = rel;
+                    best_abs = abs;
+                }
+                if best_rel <= 1e-4 {
+                    break;
+                }
+            }
+            report.max_abs_err = report.max_abs_err.max(best_abs);
+            report.max_rel_err = report.max_rel_err.max(best_rel);
+        }
+    }
+    report
+}
+
+/// Asserts [`check_param_gradients`] passes within `tol` (relative).
+///
+/// # Panics
+/// Panics with the report when the tolerance is exceeded.
+pub fn assert_param_gradients<M: HasParams + ?Sized>(
+    model: &mut M,
+    f: impl Fn(&M, &mut Step) -> Var,
+    eps: f32,
+    tol: f64,
+) {
+    let report = check_param_gradients(model, f, eps);
+    assert!(report.max_rel_err <= tol, "parameter gradient check failed: {report:?} (tol {tol})");
+}
+
 /// Asserts the gradient check passes within `tol` (relative).
 ///
 /// # Panics
@@ -86,10 +199,7 @@ pub fn assert_gradients(
     tol: f64,
 ) {
     let report = check_gradients(f, inputs, eps);
-    assert!(
-        report.max_rel_err <= tol,
-        "gradient check failed: {report:?} (tol {tol})"
-    );
+    assert!(report.max_rel_err <= tol, "gradient check failed: {report:?} (tol {tol})");
 }
 
 #[cfg(test)]
@@ -151,6 +261,65 @@ mod tests {
             1e-3,
             1e-3,
         );
+    }
+
+    #[test]
+    fn param_variant_checks_model_parameters() {
+        use crate::nn::Param;
+        // Two-parameter "model": loss = Σ (a ∘ a) + 3 Σ b.
+        struct Toy {
+            a: Param,
+            b: Param,
+        }
+        impl HasParams for Toy {
+            fn visit(&self, f: &mut dyn FnMut(&Param)) {
+                f(&self.a);
+                f(&self.b);
+            }
+            fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+                f(&mut self.a);
+                f(&mut self.b);
+            }
+        }
+        let mut r = rng(63);
+        let mut m = Toy {
+            a: Param::new("a", uniform([3], -1.0, 1.0, &mut r)),
+            b: Param::new("b", uniform([2], -1.0, 1.0, &mut r)),
+        };
+        let report = check_param_gradients(
+            &mut m,
+            |m, step| {
+                let a = m.a.var(step);
+                let b = m.b.var(step);
+                let sq = step.tape.mul(a, a);
+                let s1 = step.tape.sum_all(sq);
+                let sb = step.tape.scale(b, 3.0);
+                let s2 = step.tape.sum_all(sb);
+                step.tape.add(s1, s2)
+            },
+            1e-3,
+        );
+        assert!(report.max_rel_err < 1e-3, "{report:?}");
+        // the model is restored afterwards
+        let orig = rng(63);
+        let _ = orig;
+    }
+
+    #[test]
+    fn param_variant_restores_values() {
+        use crate::nn::Param;
+        let mut p = Param::new("w", Tensor::from_vec([2], vec![1.5, -0.5]));
+        let before = p.value().data().to_vec();
+        let _ = check_param_gradients(
+            &mut p,
+            |p, step| {
+                let w = p.var(step);
+                let sq = step.tape.mul(w, w);
+                step.tape.sum_all(sq)
+            },
+            1e-3,
+        );
+        assert_eq!(p.value().data(), &before[..]);
     }
 
     // The comprehensive per-op checks live in tests/gradcheck_ops.rs at the

@@ -88,15 +88,13 @@ pub fn gemm(m: usize, k: usize, n: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mu
             scratch::with_pack_b(pack::packed_b_len(kc, nc), |bpack| {
                 pack::pack_b(&b, pc, jc, kc, nc, bpack);
                 let bpack = &*bpack;
-                out.par_chunks_mut(MC * n)
-                    .enumerate()
-                    .for_each(|(ib, c_rows)| {
-                        let mc = c_rows.len() / n;
-                        scratch::with_pack_a(pack::packed_a_len(mc, kc), |apack| {
-                            pack::pack_a(&a, ib * MC, pc, mc, kc, apack);
-                            macro_tile(mc, nc, kc, n, jc, apack, bpack, c_rows, first);
-                        });
+                out.par_chunks_mut(MC * n).enumerate().for_each(|(ib, c_rows)| {
+                    let mc = c_rows.len() / n;
+                    scratch::with_pack_a(pack::packed_a_len(mc, kc), |apack| {
+                        pack::pack_a(&a, ib * MC, pc, mc, kc, apack);
+                        macro_tile(mc, nc, kc, n, jc, apack, bpack, c_rows, first);
                     });
+                });
             });
         }
     }
@@ -165,10 +163,7 @@ mod tests {
         let mut got = vec![f32::NAN; m * n]; // gemm must overwrite, not accumulate
         gemm(m, k, n, a, b, &mut got);
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
-            assert!(
-                (g - w).abs() <= 1e-3,
-                "({m},{k},{n}) elem {i}: {g} vs {w}"
-            );
+            assert!((g - w).abs() <= 1e-3, "({m},{k},{n}) elem {i}: {g} vs {w}");
         }
     }
 

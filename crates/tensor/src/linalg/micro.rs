@@ -33,6 +33,7 @@ pub const NR: usize = 16;
 /// `MR×NR` width into a stack buffer (the packed panels are zero-padded, so
 /// the extra lanes compute zeros) and then copied back clipped.
 #[inline]
+#[allow(clippy::too_many_arguments)] // a GEMM microkernel call site is exactly this wide
 pub fn tile(
     kc: usize,
     apanel: &[f32],
@@ -45,7 +46,7 @@ pub fn tile(
 ) {
     debug_assert!(apanel.len() >= kc * MR);
     debug_assert!(bpanel.len() >= kc * NR);
-    debug_assert!(mr >= 1 && mr <= MR && nr >= 1 && nr <= NR);
+    debug_assert!((1..=MR).contains(&mr) && (1..=NR).contains(&nr));
     if mr == MR && nr == NR {
         debug_assert!(c.len() >= (MR - 1) * ldc + NR);
         kernel(kc, apanel.as_ptr(), bpanel.as_ptr(), c.as_mut_ptr(), ldc, accumulate);

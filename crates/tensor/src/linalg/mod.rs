@@ -247,12 +247,7 @@ enum Kind {
 fn bmm(a: &Tensor, b: &Tensor, kind: Kind) -> Tensor {
     let (ba, r0, c0) = a.shape().as_batched_matrix();
     let (bb, r1, c1) = b.shape().as_batched_matrix();
-    assert_eq!(
-        ba, bb,
-        "bmm batch dims differ: {} vs {}",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(ba, bb, "bmm batch dims differ: {} vs {}", a.shape(), b.shape());
     let (m, k, n) = match kind {
         Kind::Nn => {
             assert_eq!(c0, r1, "bmm_nn inner dims: {} vs {}", a.shape(), b.shape());
@@ -349,18 +344,10 @@ mod tests {
         close(&matmul_nn_blocked(&a, &b), &matmul_naive(&a, &b), 1e-4);
 
         let bt = uniform([19, 7], -1.0, 1.0, &mut r);
-        close(
-            &matmul_nt_blocked(&a, &bt),
-            &matmul_nn(&a, &bt.transpose2()),
-            1e-4,
-        );
+        close(&matmul_nt_blocked(&a, &bt), &matmul_nn(&a, &bt.transpose2()), 1e-4);
 
         let at = uniform([7, 13], -1.0, 1.0, &mut r);
-        close(
-            &matmul_tn_blocked(&at, &b),
-            &matmul_nn(&at.transpose2(), &b),
-            1e-4,
-        );
+        close(&matmul_tn_blocked(&at, &b), &matmul_nn(&at.transpose2(), &b), 1e-4);
     }
 
     #[test]

@@ -25,9 +25,7 @@ impl Tape {
         self.push(
             out,
             vec![x],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.zip_with(&y, |gv, yv| gv * yv * (1.0 - yv))]
-            })),
+            Some(Box::new(move |g: &Tensor| vec![g.zip_with(&y, |gv, yv| gv * yv * (1.0 - yv))])),
         )
     }
 
@@ -38,9 +36,7 @@ impl Tape {
         self.push(
             out,
             vec![x],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.zip_with(&y, |gv, yv| gv * (1.0 - yv * yv))]
-            })),
+            Some(Box::new(move |g: &Tensor| vec![g.zip_with(&y, |gv, yv| gv * (1.0 - yv * yv))])),
         )
     }
 

@@ -8,21 +8,13 @@ impl Tape {
     /// `a + b`, identical shapes.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let out = self.value(a).add(self.value(b));
-        self.push(
-            out,
-            vec![a, b],
-            Some(Box::new(|g: &Tensor| vec![g.clone(), g.clone()])),
-        )
+        self.push(out, vec![a, b], Some(Box::new(|g: &Tensor| vec![g.clone(), g.clone()])))
     }
 
     /// `a - b`, identical shapes.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let out = self.value(a).sub(self.value(b));
-        self.push(
-            out,
-            vec![a, b],
-            Some(Box::new(|g: &Tensor| vec![g.clone(), g.scale(-1.0)])),
-        )
+        self.push(out, vec![a, b], Some(Box::new(|g: &Tensor| vec![g.clone(), g.scale(-1.0)])))
     }
 
     /// Elementwise `a * b`, identical shapes.
@@ -30,11 +22,7 @@ impl Tape {
         let av = self.value(a).clone();
         let bv = self.value(b).clone();
         let out = av.mul(&bv);
-        self.push(
-            out,
-            vec![a, b],
-            Some(Box::new(move |g: &Tensor| vec![g.mul(&bv), g.mul(&av)])),
-        )
+        self.push(out, vec![a, b], Some(Box::new(move |g: &Tensor| vec![g.mul(&bv), g.mul(&av)])))
     }
 
     /// `a * c` for a compile-time constant scalar.
@@ -66,12 +54,7 @@ impl Tape {
         let bv = self.value(bias);
         assert_eq!(bv.shape().rank(), 1, "bias must be rank 1, got {}", bv.shape());
         let d = bv.shape().dim(0);
-        assert_eq!(
-            xv.shape().last_dim(),
-            d,
-            "bias dim {d} does not match rows of {}",
-            xv.shape()
-        );
+        assert_eq!(xv.shape().last_dim(), d, "bias dim {d} does not match rows of {}", xv.shape());
         let mut out = xv.clone();
         for row in out.data_mut().chunks_mut(d) {
             for (o, &b) in row.iter_mut().zip(bv.data()) {
@@ -81,9 +64,7 @@ impl Tape {
         self.push(
             out,
             vec![x, bias],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.clone(), reduce_rows(g, d)]
-            })),
+            Some(Box::new(move |g: &Tensor| vec![g.clone(), reduce_rows(g, d)])),
         )
     }
 
@@ -156,9 +137,7 @@ impl Tape {
         self.push(
             out,
             vec![x],
-            Some(Box::new(move |g: &Tensor| {
-                vec![Tensor::full(shape.clone(), g.item())]
-            })),
+            Some(Box::new(move |g: &Tensor| vec![Tensor::full(shape.clone(), g.item())])),
         )
     }
 

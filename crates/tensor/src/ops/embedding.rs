@@ -58,9 +58,7 @@ impl Tape {
         self.push(
             out,
             vec![x],
-            Some(Box::new(move |g: &Tensor| {
-                vec![merge_heads_raw(g, b, t, dh, h)]
-            })),
+            Some(Box::new(move |g: &Tensor| vec![merge_heads_raw(g, b, t, dh, h)])),
         )
     }
 
@@ -75,9 +73,7 @@ impl Tape {
         self.push(
             out,
             vec![x],
-            Some(Box::new(move |g: &Tensor| {
-                vec![split_heads_raw(g, b, t, dh * h, h)]
-            })),
+            Some(Box::new(move |g: &Tensor| vec![split_heads_raw(g, b, t, dh * h, h)])),
         )
     }
 
@@ -165,8 +161,7 @@ impl Tape {
         let mut out = Vec::with_capacity(av.len() + bv.len());
         out.extend_from_slice(av.data());
         out.extend_from_slice(bv.data());
-        let (la, shape_a, shape_b) =
-            (av.len(), av.shape().clone(), bv.shape().clone());
+        let (la, shape_a, shape_b) = (av.len(), av.shape().clone(), bv.shape().clone());
         self.push(
             Tensor::from_vec(dims, out),
             vec![a, b],
@@ -324,10 +319,7 @@ mod tests {
     fn split_heads_layout_is_head_major() {
         let mut t = Tape::new();
         // B=1, T=2, d=4, h=2: row t has [h0_0, h0_1, h1_0, h1_1]
-        let x = t.leaf(Tensor::from_vec(
-            [1, 2, 4],
-            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
-        ));
+        let x = t.leaf(Tensor::from_vec([1, 2, 4], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]));
         let sp = t.split_heads(x, 2);
         // head 0: [[0,1],[4,5]]; head 1: [[2,3],[6,7]]
         assert_eq!(t.value(sp).data(), &[0.0, 1.0, 4.0, 5.0, 2.0, 3.0, 6.0, 7.0]);
@@ -343,10 +335,7 @@ mod tests {
         let s = t.sum_all(y);
         let g = t.backward(s);
         let dx = g.get(x).unwrap();
-        assert_eq!(
-            dx.data(),
-            &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0]
-        );
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
     }
 
     #[test]
@@ -368,7 +357,7 @@ mod tests {
     #[test]
     fn last_time_is_final_position() {
         let mut t = Tape::new();
-        let data: Vec<f32> = (0..1 * 3 * 2).map(|i| i as f32).collect();
+        let data: Vec<f32> = (0..3 * 2).map(|i| i as f32).collect(); // shape [1, 3, 2]
         let x = t.leaf(Tensor::from_vec([1, 3, 2], data));
         let y = t.last_time(x);
         assert_eq!(t.value(y).data(), &[4.0, 5.0]);

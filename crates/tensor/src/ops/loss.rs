@@ -19,10 +19,7 @@ impl Tape {
         assert_eq!(lv.shape().rank(), 2, "logits must be [N,C], got {}", lv.shape());
         let (n, c) = (lv.shape().dim(0), lv.shape().dim(1));
         assert_eq!(n, targets.len(), "{n} rows vs {} targets", targets.len());
-        assert!(
-            targets.iter().all(|&t| (t as usize) < c),
-            "target class out of range 0..{c}"
-        );
+        assert!(targets.iter().all(|&t| (t as usize) < c), "target class out of range 0..{c}");
 
         // Probabilities are saved for the backward pass.
         let mut probs = lv.clone();
@@ -41,9 +38,7 @@ impl Tape {
             vec![logits],
             Some(Box::new(move |g: &Tensor| {
                 let mut dx = probs.clone();
-                for ((row, &t), &gv) in
-                    dx.data_mut().chunks_mut(c).zip(&targets).zip(g.data())
-                {
+                for ((row, &t), &gv) in dx.data_mut().chunks_mut(c).zip(&targets).zip(g.data()) {
                     row[t as usize] -= 1.0;
                     for v in row.iter_mut() {
                         *v *= gv;

@@ -117,7 +117,7 @@ mod tests {
         assert_eq!(d[3], -1e9); // (q1,k0) pad
         assert_eq!(d[4], 0.0); // (q1,k1)
         assert_eq!(d[5], -1e9); // (q1,k2) future
-        // q=2: k=1,2 allowed
+                                // q=2: k=1,2 allowed
         assert_eq!(d[6], -1e9);
         assert_eq!(d[7], 0.0);
         assert_eq!(d[8], 0.0);

@@ -51,9 +51,7 @@ impl Tape {
         self.push(
             out,
             vec![a, b],
-            Some(Box::new(move |g: &Tensor| {
-                vec![linalg::bmm_nt(g, &bv), linalg::bmm_tn(&av, g)]
-            })),
+            Some(Box::new(move |g: &Tensor| vec![linalg::bmm_nt(g, &bv), linalg::bmm_tn(&av, g)])),
         )
     }
 
@@ -66,9 +64,7 @@ impl Tape {
         self.push(
             out,
             vec![a, b],
-            Some(Box::new(move |g: &Tensor| {
-                vec![linalg::bmm_nn(g, &bv), linalg::bmm_tn(g, &av)]
-            })),
+            Some(Box::new(move |g: &Tensor| vec![linalg::bmm_nn(g, &bv), linalg::bmm_tn(g, &av)])),
         )
     }
 
@@ -78,11 +74,7 @@ impl Tape {
         let shape = shape.into();
         let old = self.value(x).shape().clone();
         let out = self.value(x).reshape(shape);
-        self.push(
-            out,
-            vec![x],
-            Some(Box::new(move |g: &Tensor| vec![g.reshape(old.clone())])),
-        )
+        self.push(out, vec![x], Some(Box::new(move |g: &Tensor| vec![g.reshape(old.clone())])))
     }
 
     /// Applies a `[d_in, d_out]` weight to the trailing dimension of any

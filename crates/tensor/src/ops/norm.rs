@@ -34,16 +34,10 @@ impl Tape {
             Some(Box::new(move |g: &Tensor| {
                 let mut dx = g.clone();
                 let rows = dx.data_mut().chunks_mut(d);
-                for ((grow, yrow), &inv_sigma) in
-                    rows.zip(y.data().chunks(d)).zip(&inv_sigmas)
-                {
+                for ((grow, yrow), &inv_sigma) in rows.zip(y.data().chunks(d)).zip(&inv_sigmas) {
                     let gmean = grow.iter().sum::<f32>() / d as f32;
-                    let gymean = grow
-                        .iter()
-                        .zip(yrow)
-                        .map(|(&gv, &yv)| gv * yv)
-                        .sum::<f32>()
-                        / d as f32;
+                    let gymean =
+                        grow.iter().zip(yrow).map(|(&gv, &yv)| gv * yv).sum::<f32>() / d as f32;
                     for (gv, &yv) in grow.iter_mut().zip(yrow) {
                         *gv = (*gv - gmean - yv * gymean) * inv_sigma;
                     }
@@ -77,11 +71,8 @@ impl Tape {
             vec![x],
             Some(Box::new(move |g: &Tensor| {
                 let mut dx = g.clone();
-                for ((grow, yrow), &inv) in dx
-                    .data_mut()
-                    .chunks_mut(d)
-                    .zip(y.data().chunks(d))
-                    .zip(&inv_norms)
+                for ((grow, yrow), &inv) in
+                    dx.data_mut().chunks_mut(d).zip(y.data().chunks(d)).zip(&inv_norms)
                 {
                     let dot: f32 = grow.iter().zip(yrow).map(|(&gv, &yv)| gv * yv).sum();
                     for (gv, &yv) in grow.iter_mut().zip(yrow) {
@@ -107,16 +98,11 @@ impl Tape {
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
         let xv = self.value(x);
-        let mask: Vec<f32> = (0..xv.len())
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
+        let mask: Vec<f32> =
+            (0..xv.len()).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
         let mask = Tensor::from_vec(xv.shape().clone(), mask);
         let out = xv.mul(&mask);
-        self.push(
-            out,
-            vec![x],
-            Some(Box::new(move |g: &Tensor| vec![g.mul(&mask)])),
-        )
+        self.push(out, vec![x], Some(Box::new(move |g: &Tensor| vec![g.mul(&mask)])))
     }
 }
 

@@ -93,13 +93,7 @@ impl Tape {
         assert_eq!(xv.shape().rank(), 3, "transpose12 expects rank 3, got {}", xv.shape());
         let (b, t, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
         let out = transpose12_raw(xv, b, t, d);
-        self.push(
-            out,
-            vec![x],
-            Some(Box::new(move |g: &Tensor| {
-                vec![transpose12_raw(g, b, d, t)]
-            })),
-        )
+        self.push(out, vec![x], Some(Box::new(move |g: &Tensor| vec![transpose12_raw(g, b, d, t)])))
     }
 }
 
@@ -146,18 +140,12 @@ mod tests {
     #[test]
     fn max_pool_routes_gradient_to_argmax() {
         let mut tape = Tape::new();
-        let x = tape.leaf(Tensor::from_vec(
-            [1, 3, 2],
-            vec![1.0, 9.0, 5.0, 2.0, 3.0, 4.0],
-        ));
+        let x = tape.leaf(Tensor::from_vec([1, 3, 2], vec![1.0, 9.0, 5.0, 2.0, 3.0, 4.0]));
         let y = tape.max_over_dim1(x);
         assert_eq!(tape.value(y).data(), &[5.0, 9.0]);
         let s = tape.sum_all(y);
         let g = tape.backward(s);
-        assert_eq!(
-            g.get(x).unwrap().data(),
-            &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0]
-        );
+        assert_eq!(g.get(x).unwrap().data(), &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
     }
 
     #[test]

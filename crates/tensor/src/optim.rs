@@ -109,12 +109,7 @@ impl Adam {
     /// Applies one update to every parameter of `model` that received a
     /// gradient on `step`. Parameters without gradients (unused this step)
     /// are left untouched and their moments are not advanced.
-    pub fn step<M: HasParams + ?Sized>(
-        &mut self,
-        model: &mut M,
-        step: &Step,
-        grads: &Gradients,
-    ) {
+    pub fn step<M: HasParams + ?Sized>(&mut self, model: &mut M, step: &Step, grads: &Gradients) {
         let clip_scale = self.clip_scale(model, step, grads);
         let lr = self.current_lr();
         self.t += 1;
@@ -138,12 +133,8 @@ impl Adam {
             );
             let value = p.value_mut();
             let (md, vd) = (entry.m.data_mut(), entry.v.data_mut());
-            for (((w, &g), m), v) in value
-                .data_mut()
-                .iter_mut()
-                .zip(grad.data())
-                .zip(md.iter_mut())
-                .zip(vd.iter_mut())
+            for (((w, &g), m), v) in
+                value.data_mut().iter_mut().zip(grad.data()).zip(md.iter_mut()).zip(vd.iter_mut())
             {
                 let mut g = g * clip_scale;
                 if cfg.weight_decay > 0.0 {
@@ -158,12 +149,7 @@ impl Adam {
         });
     }
 
-    fn clip_scale<M: HasParams + ?Sized>(
-        &self,
-        model: &M,
-        step: &Step,
-        grads: &Gradients,
-    ) -> f32 {
+    fn clip_scale<M: HasParams + ?Sized>(&self, model: &M, step: &Step, grads: &Gradients) -> f32 {
         let Some(max_norm) = self.cfg.clip_norm else { return 1.0 };
         let mut sq = 0.0f64;
         model.visit(&mut |p: &Param| {
@@ -258,11 +244,8 @@ mod tests {
         // much smaller than without.
         let run = |clip: Option<f32>| {
             let mut p = Param::new("w", Tensor::scalar(0.0));
-            let mut adam = Adam::new(AdamConfig {
-                lr: 1.0,
-                clip_norm: clip,
-                ..AdamConfig::default()
-            });
+            let mut adam =
+                Adam::new(AdamConfig { lr: 1.0, clip_norm: clip, ..AdamConfig::default() });
             let mut step = Step::new();
             let w = p.var(&mut step);
             let big = step.tape.scale(w, 1e6);
@@ -312,11 +295,8 @@ mod tests {
     #[test]
     fn weight_decay_shrinks_unused_directions() {
         let mut p = Param::new("w", Tensor::scalar(5.0));
-        let mut adam = Adam::new(AdamConfig {
-            lr: 0.1,
-            weight_decay: 0.5,
-            ..AdamConfig::default()
-        });
+        let mut adam =
+            Adam::new(AdamConfig { lr: 0.1, weight_decay: 0.5, ..AdamConfig::default() });
         for _ in 0..50 {
             let mut step = Step::new();
             let w = p.var(&mut step);

@@ -52,8 +52,7 @@ impl Gradients {
 
     /// Like [`Gradients::get`] but panics with a useful message when absent.
     pub fn expect(&self, var: Var, what: &str) -> &Tensor {
-        self.get(var)
-            .unwrap_or_else(|| panic!("no gradient flowed to {what} (var {})", var.id))
+        self.get(var).unwrap_or_else(|| panic!("no gradient flowed to {what} (var {})", var.id))
     }
 }
 

@@ -158,17 +158,8 @@ impl Tensor {
     /// # Panics
     /// Panics if shapes differ.
     pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!(
-            self.shape, other.shape,
-            "shape mismatch: {} vs {}",
-            self.shape, other.shape
-        );
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
         Tensor { shape: self.shape.clone(), data: Arc::new(data) }
     }
 
@@ -177,11 +168,7 @@ impl Tensor {
     /// # Panics
     /// Panics if shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) {
-        assert_eq!(
-            self.shape, other.shape,
-            "shape mismatch: {} vs {}",
-            self.shape, other.shape
-        );
+        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
         let dst = Arc::make_mut(&mut self.data);
         for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
             *d += s;
@@ -239,10 +226,7 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn max_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape);
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
+        self.data.iter().zip(other.data.iter()).fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
     }
 }
 

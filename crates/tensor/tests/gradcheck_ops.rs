@@ -350,10 +350,7 @@ fn grad_window_ops() {
     );
     // max is piecewise linear: keep entries well separated so the FD step
     // never crosses an argmax boundary.
-    let x = Tensor::from_vec(
-        [1, 3, 2],
-        vec![0.0, 5.0, 1.0, -2.0, 3.0, 0.5],
-    );
+    let x = Tensor::from_vec([1, 3, 2], vec![0.0, 5.0, 1.0, -2.0, 3.0, 0.5]);
     assert_gradients(
         |s, v| {
             let m = s.tape.max_over_dim1(v[0]);

@@ -111,10 +111,10 @@ proptest! {
         let a = uniform([ba, m, k], -1.0, 1.0, &mut r);
         let b = uniform([ba, k, n], -1.0, 1.0, &mut r);
         let c = bmm_slices(&linalg::bmm_nn(&a, &b), ba, m, n);
-        for i in 0..ba {
+        for (i, ci) in c.iter().enumerate() {
             let ai = Tensor::from_vec([m, k], a.data()[i * m * k..(i + 1) * m * k].to_vec());
             let bi = Tensor::from_vec([k, n], b.data()[i * k * n..(i + 1) * k * n].to_vec());
-            close(&c[i], &linalg::matmul_naive(&ai, &bi))?;
+            close(ci, &linalg::matmul_naive(&ai, &bi))?;
         }
     }
 
@@ -128,19 +128,19 @@ proptest! {
         let a = uniform([ba, m, k], -1.0, 1.0, &mut r);
         let bt = uniform([ba, n, k], -1.0, 1.0, &mut r);
         let c = bmm_slices(&linalg::bmm_nt(&a, &bt), ba, m, n);
-        for i in 0..ba {
+        for (i, ci) in c.iter().enumerate() {
             let ai = Tensor::from_vec([m, k], a.data()[i * m * k..(i + 1) * m * k].to_vec());
             let bi = Tensor::from_vec([n, k], bt.data()[i * n * k..(i + 1) * n * k].to_vec());
-            close(&c[i], &linalg::matmul_naive(&ai, &bi.transpose2()))?;
+            close(ci, &linalg::matmul_naive(&ai, &bi.transpose2()))?;
         }
 
         let at = uniform([ba, k, m], -1.0, 1.0, &mut r);
         let b = uniform([ba, k, n], -1.0, 1.0, &mut r);
         let c = bmm_slices(&linalg::bmm_tn(&at, &b), ba, m, n);
-        for i in 0..ba {
+        for (i, ci) in c.iter().enumerate() {
             let ai = Tensor::from_vec([k, m], at.data()[i * k * m..(i + 1) * k * m].to_vec());
             let bi = Tensor::from_vec([k, n], b.data()[i * k * n..(i + 1) * k * n].to_vec());
-            close(&c[i], &linalg::matmul_naive(&ai.transpose2(), &bi))?;
+            close(ci, &linalg::matmul_naive(&ai.transpose2(), &bi))?;
         }
     }
 }

@@ -14,11 +14,7 @@ fn tensor_with(len: usize) -> impl Strategy<Value = Vec<f32>> {
 fn close(a: &Tensor, b: &Tensor, tol: f32) -> Result<(), TestCaseError> {
     prop_assert!(a.shape() == b.shape());
     let scale = a.max_abs().max(b.max_abs()).max(1.0);
-    prop_assert!(
-        a.max_diff(b) <= tol * scale,
-        "diff {} (scale {scale})",
-        a.max_diff(b)
-    );
+    prop_assert!(a.max_diff(b) <= tol * scale, "diff {} (scale {scale})", a.max_diff(b));
     Ok(())
 }
 

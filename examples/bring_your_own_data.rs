@@ -53,10 +53,8 @@ fn main() {
     // 3. Split, train, evaluate.
     let split = Split::leave_one_out(&dataset);
     let mut model = SasRec::new(EncoderConfig::small(dataset.num_items()), 42);
-    let report = model.fit(
-        &split,
-        &TrainOptions { epochs: 8, valid_probe_users: 150, ..Default::default() },
-    );
+    let report = model
+        .fit(&split, &TrainOptions { epochs: 8, valid_probe_users: 150, ..Default::default() });
     println!("trained {} epochs (final loss {:.3})", report.epochs_run(), report.final_loss());
     let m = evaluate(&model, &split, EvalTarget::Test, &EvalOptions::default());
     println!("test: HR@10 = {:.4}, NDCG@10 = {:.4}", m.hr_at(10), m.ndcg_at(10));

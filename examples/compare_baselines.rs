@@ -16,11 +16,7 @@ use cp4rec_repro::models::{EncoderConfig, Pop, SasRec, TrainOptions};
 fn main() {
     let dataset = generate_dataset(&SyntheticConfig::beauty(0.015));
     let split = Split::leave_one_out(&dataset);
-    println!(
-        "beauty-like catalog: {} users, {} items",
-        split.num_users(),
-        dataset.num_items()
-    );
+    println!("beauty-like catalog: {} users, {} items", split.num_users(), dataset.num_items());
     let opts = TrainOptions { epochs: 10, valid_probe_users: 150, ..Default::default() };
     let eval_opts = EvalOptions::default();
     let mut results = DatasetResults::new("beauty (scale 0.015)");
@@ -42,8 +38,6 @@ fn main() {
     results.push("CL4SRec", evaluate(&cl, &split, EvalTarget::Test, &eval_opts));
 
     println!("\n{}", results.to_markdown(&["SASRec"]));
-    let imp = results
-        .improvement("SASRec", "CL4SRec", "HR", 10)
-        .unwrap_or(f64::NAN);
+    let imp = results.improvement("SASRec", "CL4SRec", "HR", 10).unwrap_or(f64::NAN);
     println!("CL4SRec improves HR@10 over SASRec by {imp:+.1}% (paper: +8.16% on average)");
 }

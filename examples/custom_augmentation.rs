@@ -39,12 +39,7 @@ impl Substitute {
             }
         }
         let best_neighbour = (0..n as u32)
-            .map(|i| {
-                counts[i as usize]
-                    .iter()
-                    .max_by_key(|(_, &c)| c)
-                    .map_or(i, |(&j, _)| j)
-            })
+            .map(|i| counts[i as usize].iter().max_by_key(|(_, &c)| c).map_or(i, |(&j, _)| j))
             .collect();
         Substitute { rho, best_neighbour }
     }
@@ -53,13 +48,7 @@ impl Substitute {
 impl Augmentation for Substitute {
     fn apply(&self, seq: &[u32], rng: &mut TensorRng) -> Vec<u32> {
         seq.iter()
-            .map(|&v| {
-                if rng.gen::<f64>() < self.rho {
-                    self.best_neighbour[v as usize]
-                } else {
-                    v
-                }
-            })
+            .map(|&v| if rng.gen::<f64>() < self.rho { self.best_neighbour[v as usize] } else { v })
             .collect()
     }
     fn name(&self) -> &'static str {

@@ -14,7 +14,11 @@ use cp4rec_repro::data::Split;
 use cp4rec_repro::eval::{evaluate, EvalOptions, EvalTarget, RankingMetrics};
 use cp4rec_repro::models::{EncoderConfig, SasRec, TrainOptions};
 
-fn run_pair(split: &Split, num_items: usize, users: Option<Vec<usize>>) -> (RankingMetrics, RankingMetrics) {
+fn run_pair(
+    split: &Split,
+    num_items: usize,
+    users: Option<Vec<usize>>,
+) -> (RankingMetrics, RankingMetrics) {
     let opts = TrainOptions {
         epochs: 10,
         valid_probe_users: 150,

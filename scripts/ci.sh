@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full CI gate: formatting, lints, then the tier-1 test suite.
+#
+# Kept strictly ordered cheapest-first so a style slip fails in seconds
+# instead of after a release build. Clippy runs with -D warnings across
+# every target (tests, benches, examples) — the gate is green or it isn't.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== scripts/test.sh"
+bash scripts/test.sh
+
+echo "CI gate green."

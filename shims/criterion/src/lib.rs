@@ -138,11 +138,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher {
-            iters_per_sample: 1,
-            samples: self.sample_size,
-            sample_means_ns: Vec::new(),
-        };
+        let mut b =
+            Bencher { iters_per_sample: 1, samples: self.sample_size, sample_means_ns: Vec::new() };
         f(&mut b, input);
         self.record(&id, &b);
         self
@@ -154,11 +151,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into_benchmark_id();
-        let mut b = Bencher {
-            iters_per_sample: 1,
-            samples: self.sample_size,
-            sample_means_ns: Vec::new(),
-        };
+        let mut b =
+            Bencher { iters_per_sample: 1, samples: self.sample_size, sample_means_ns: Vec::new() };
         f(&mut b);
         self.record(&id, &b);
         self
@@ -181,11 +175,7 @@ impl BenchmarkGroup<'_> {
         }
         let n = b.sample_means_ns.len() as f64;
         let mean = b.sample_means_ns.iter().sum::<f64>() / n;
-        let var = b
-            .sample_means_ns
-            .iter()
-            .map(|s| (s - mean) * (s - mean))
-            .sum::<f64>()
+        let var = b.sample_means_ns.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
             / n.max(2.0 - 1.0);
         let std = var.sqrt();
         let rate = self.throughput.map(|t| match t {
@@ -231,9 +221,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // Respect an explicit filter argument (`cargo bench -- <substr>`)
         // while ignoring criterion CLI flags like --noplot / --bench.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-') && !a.is_empty());
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && !a.is_empty());
         // Bench processes run with CWD = package dir, so a relative default
         // lands in <package>/target. Scripts aggregating across packages set
         // CRITERION_SHIM_OUT (or CARGO_TARGET_DIR) to collect in one place.
@@ -252,12 +240,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Opens a benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            sample_size: 20,
-            throughput: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
     }
 
     fn filter_matches(&self, id: &str) -> bool {
@@ -306,10 +289,8 @@ impl Criterion {
                 None => "null".to_string(),
             },
         );
-        if let Ok(mut f) = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.out_path)
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(&self.out_path)
         {
             let _ = writeln!(f, "{json}");
         }

@@ -79,7 +79,7 @@ impl WeightedIndex<f64> {
         let mut total = 0.0f64;
         for w in weights {
             let w = *w.borrow();
-            if !(w >= 0.0) || !w.is_finite() {
+            if w < 0.0 || !w.is_finite() {
                 return Err(WeightedError);
             }
             total += w;

@@ -282,9 +282,7 @@ mod tests {
         let mut state = 0u64;
         let mut want = [0u8; 8];
         for chunk in want.chunks_mut(4) {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(11634580027462260723);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11634580027462260723);
             let x = ((((state >> 18) ^ state) >> 27) as u32).rotate_right((state >> 59) as u32);
             chunk.copy_from_slice(&x.to_le_bytes());
         }

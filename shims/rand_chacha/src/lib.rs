@@ -86,9 +86,8 @@ macro_rules! chacha_rng {
                         $double_rounds,
                         &mut self.buf[blk * 16..(blk + 1) * 16],
                     );
-                    let counter =
-                        (u64::from(self.state[13]) << 32 | u64::from(self.state[12]))
-                            .wrapping_add(1);
+                    let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12]))
+                        .wrapping_add(1);
                     self.state[12] = counter as u32;
                     self.state[13] = (counter >> 32) as u32;
                 }

@@ -6,9 +6,7 @@
 
 /// Everything call sites need: extension traits and [`ParIter`].
 pub mod prelude {
-    pub use crate::{
-        IntoParallelIterator, ParIter, ParallelSliceExt, ParallelSliceMutExt,
-    };
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSliceExt, ParallelSliceMutExt};
 }
 
 /// Serial stand-in for a rayon parallel iterator: wraps a std iterator and
@@ -32,10 +30,7 @@ impl<I: Iterator> ParIter<I> {
     }
 
     /// Pairs with another (into-)parallel iterator.
-    pub fn zip<J: IntoParallelIterator>(
-        self,
-        other: J,
-    ) -> ParIter<std::iter::Zip<I, J::Iter>> {
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>> {
         ParIter(self.0.zip(other.into_par_iter().0))
     }
 

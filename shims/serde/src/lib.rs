@@ -143,10 +143,7 @@ mod tests {
         assert_eq!((-4i64).to_value(), Value::Int(-4));
         assert_eq!(1.5f32.to_value(), Value::Float(1.5));
         assert_eq!(f32::NAN.to_value(), Value::Null);
-        assert_eq!(
-            vec![1u8, 2].to_value(),
-            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
-        );
+        assert_eq!(vec![1u8, 2].to_value(), Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
         assert_eq!(
             ("hi".to_string(), 2u8).to_value(),
             Value::Array(vec![Value::Str("hi".into()), Value::UInt(2)])

@@ -51,8 +51,14 @@ fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String)
             }
         }
         Value::Str(s) => write_json_string(s, out),
-        Value::Array(items) =>
-            write_seq(items.iter(), |item, out| write_value(item, indent, depth + 1, out), indent, depth, ('[', ']'), out),
+        Value::Array(items) => write_seq(
+            items.iter(),
+            |item, out| write_value(item, indent, depth + 1, out),
+            indent,
+            depth,
+            ('[', ']'),
+            out,
+        ),
         Value::Object(entries) => write_seq(
             entries.iter(),
             |(k, val), out| {

@@ -95,4 +95,107 @@ proptest! {
             prop_assert_eq!(out1, out2);
         }
     }
+
+    /// Exact paper element counts on every length and rate: crop keeps
+    /// `max(1, ⌊η·n⌋)` items, mask replaces `⌊γ·n⌋`, reorder shuffles a
+    /// window of `⌊β·n⌋` (so at most that many positions change).
+    #[test]
+    fn floor_counts_match_the_paper(n in 1usize..40, rate in 0.0f64..=1.0, seed in 0u64..500) {
+        let seq: Vec<u32> = (1..=n as u32).collect(); // distinct items
+        let floor = (rate * n as f64).floor() as usize;
+
+        let cropped = Crop { eta: rate }.apply(&seq, &mut rng(seed));
+        prop_assert_eq!(cropped.len(), floor.max(1));
+
+        let token = 10_000u32;
+        let masked = Mask { gamma: rate, mask_token: token }.apply(&seq, &mut rng(seed));
+        let replaced = masked.iter().filter(|&&v| v == token).count();
+        prop_assert_eq!(replaced, floor);
+
+        let reordered = Reorder { beta: rate }.apply(&seq, &mut rng(seed));
+        let moved = reordered.iter().zip(&seq).filter(|(x, y)| x != y).count();
+        prop_assert!(moved <= floor, "reorder moved {moved} > window {floor}");
+    }
+}
+
+/// Degenerate lengths n = 1 and n = 2: every operator must stay total and
+/// well-formed where the floor counts collapse to 0 or the window covers
+/// the whole sequence.
+mod degenerate_lengths {
+    use super::*;
+
+    #[test]
+    fn crop_of_singleton_is_the_singleton() {
+        // ⌊η·1⌋ = 0 for every η < 1, but crop never returns an empty view.
+        for eta in [0.0, 0.3, 0.99, 1.0] {
+            for seed in 0..20 {
+                let out = Crop { eta }.apply(&[7], &mut rng(seed));
+                assert_eq!(out, vec![7], "eta {eta} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn crop_of_pair_keeps_floor_eta_n() {
+        // n = 2: ⌊η·2⌋ is 0 (→ clamped to 1), 1, or 2.
+        for seed in 0..20 {
+            assert_eq!(Crop { eta: 0.4 }.apply(&[3, 9], &mut rng(seed)).len(), 1);
+            let one = Crop { eta: 0.5 }.apply(&[3, 9], &mut rng(seed));
+            assert_eq!(one.len(), 1);
+            assert!(one == [3] || one == [9], "not a window: {one:?}");
+            assert_eq!(Crop { eta: 1.0 }.apply(&[3, 9], &mut rng(seed)), vec![3, 9]);
+        }
+    }
+
+    #[test]
+    fn mask_of_singleton_is_all_or_nothing() {
+        for seed in 0..20 {
+            // ⌊γ·1⌋ = 0: untouched
+            assert_eq!(Mask { gamma: 0.99, mask_token: 5 }.apply(&[7], &mut rng(seed)), vec![7]);
+            // ⌊γ·1⌋ = 1: fully masked
+            assert_eq!(Mask { gamma: 1.0, mask_token: 5 }.apply(&[7], &mut rng(seed)), vec![5]);
+        }
+    }
+
+    #[test]
+    fn mask_of_pair_masks_exactly_floor_gamma_n() {
+        for seed in 0..20 {
+            let out = Mask { gamma: 0.5, mask_token: 5 }.apply(&[3, 9], &mut rng(seed));
+            assert_eq!(out.iter().filter(|&&v| v == 5).count(), 1);
+            assert!(out == [5, 9] || out == [3, 5], "unexpected mask: {out:?}");
+        }
+    }
+
+    #[test]
+    fn reorder_of_singleton_is_identity() {
+        for beta in [0.0, 0.5, 1.0] {
+            for seed in 0..20 {
+                assert_eq!(Reorder { beta }.apply(&[7], &mut rng(seed)), vec![7]);
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_of_pair_is_a_permutation() {
+        // β = 1: the window is the whole pair, so the output is one of the
+        // two orders; β < 0.5 gives window ⌊β·2⌋ ≤ 1, i.e. identity.
+        for seed in 0..20 {
+            let out = Reorder { beta: 1.0 }.apply(&[3, 9], &mut rng(seed));
+            assert!(out == [3, 9] || out == [9, 3], "not a permutation: {out:?}");
+            assert_eq!(Reorder { beta: 0.49 }.apply(&[3, 9], &mut rng(seed)), vec![3, 9]);
+        }
+    }
+
+    #[test]
+    fn two_views_survive_degenerate_lengths() {
+        let set = AugmentationSet::paper_full(0.5, 0.5, 0.5, 10_000);
+        for n in [1usize, 2] {
+            let seq: Vec<u32> = (1..=n as u32).collect();
+            for seed in 0..50 {
+                let (a, b) = set.two_views(&seq, &mut rng(seed));
+                assert!(!a.is_empty() && !b.is_empty(), "n {n} seed {seed}");
+                assert!(a.len() <= n && b.len() <= n);
+            }
+        }
+    }
 }

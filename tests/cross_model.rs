@@ -41,7 +41,11 @@ fn every_method_satisfies_the_scorer_contract() {
     let enc = EncoderConfig { num_items: n, d: 16, heads: 2, layers: 1, max_len: 10, dropout: 0.1 };
 
     check_contract(&Pop::fit(&split), &split, n);
-    check_contract(&BprMf::new(BprMfConfig { d: 16, ..Default::default() }, split.num_users(), n, 1), &split, n);
+    check_contract(
+        &BprMf::new(BprMfConfig { d: 16, ..Default::default() }, split.num_users(), n, 1),
+        &split,
+        n,
+    );
     check_contract(&Ncf::new(NcfConfig { d: 16 }, split.num_users(), n, 2), &split, n);
     check_contract(
         &Gru4Rec::new(Gru4RecConfig { num_items: n, d: 16, max_len: 10, dropout: 0.1 }, 3),
@@ -49,11 +53,7 @@ fn every_method_satisfies_the_scorer_contract() {
         n,
     );
     check_contract(&SasRec::new(enc.clone(), 4), &split, n);
-    check_contract(
-        &Cl4sRec::new(Cl4sRecConfig { encoder: enc.clone(), tau: 0.5 }, 5),
-        &split,
-        n,
-    );
+    check_contract(&Cl4sRec::new(Cl4sRecConfig { encoder: enc.clone(), tau: 0.5 }, 5), &split, n);
     check_contract(
         &Fpmc::new(FpmcConfig { d: 16, ..Default::default() }, split.num_users(), n, 6),
         &split,
@@ -76,11 +76,7 @@ fn every_method_satisfies_the_scorer_contract() {
         &split,
         n,
     );
-    check_contract(
-        &Bert4Rec::new(Bert4RecConfig { encoder: enc, mask_prob: 0.3 }, 8),
-        &split,
-        n,
-    );
+    check_contract(&Bert4Rec::new(Bert4RecConfig { encoder: enc, mask_prob: 0.3 }, 8), &split, n);
 }
 
 #[test]

@@ -86,8 +86,7 @@ fn cl4srec_pipeline_is_deterministic_too() {
             tau: 0.5,
         };
         let mut model = Cl4sRec::new(cfg, 9);
-        let augs =
-            AugmentationSet::single(Mask { gamma: 0.5, mask_token: model.mask_token() });
+        let augs = AugmentationSet::single(Mask { gamma: 0.5, mask_token: model.mask_token() });
         let (pre, _) = model.fit(
             &split,
             &augs,
