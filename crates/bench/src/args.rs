@@ -21,8 +21,9 @@ pub struct ExpArgs {
     pub datasets: Vec<String>,
     /// Path for the JSON results dump (None = print only).
     pub out: Option<String>,
-    /// Per-epoch logging.
-    pub verbose: bool,
+    /// Per-epoch logging: 0 = silent, 1 (`-v`) = per-epoch lines,
+    /// 2 (`-vv`) = debug diagnostics.
+    pub verbosity: u8,
 }
 
 impl ExpArgs {
@@ -35,7 +36,7 @@ impl ExpArgs {
             seed: 42,
             datasets: vec!["beauty".into(), "sports".into(), "toys".into(), "yelp".into()],
             out: None,
-            verbose: false,
+            verbosity: 0,
         }
     }
 
@@ -67,7 +68,8 @@ impl ExpArgs {
                         .collect();
                 }
                 "--out" => args.out = Some(take("--out")),
-                "--verbose" | "-v" => args.verbose = true,
+                "--verbose" | "-v" => args.verbosity = args.verbosity.max(1),
+                "-vv" => args.verbosity = 2,
                 "--help" | "-h" => {
                     println!(
                         "{name}: {what}\n\n\
@@ -78,7 +80,8 @@ impl ExpArgs {
                          \x20 --seed <n>             RNG seed (default 42)\n\
                          \x20 --datasets <a,b,..>    subset of beauty,sports,toys,yelp\n\
                          \x20 --out <path>           write JSON results here\n\
-                         \x20 --verbose              per-epoch logs"
+                         \x20 --verbose | -v         per-epoch logs (-vv for debug)\n\
+                         \x20 env SEQREC_OBS         telemetry sinks: console=LEVEL,jsonl=PATH,chrome=PATH,detail"
                     );
                     exit(0);
                 }

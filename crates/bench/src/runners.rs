@@ -46,7 +46,7 @@ pub fn train_opts(args: &ExpArgs) -> TrainOptions {
     TrainOptions {
         epochs: args.epochs,
         seed: args.seed,
-        verbose: args.verbose,
+        verbosity: args.verbosity,
         valid_probe_users: 200,
         ..Default::default()
     }
@@ -57,7 +57,7 @@ pub fn pretrain_opts(args: &ExpArgs) -> PretrainOptions {
     PretrainOptions {
         epochs: args.pretrain_epochs,
         seed: args.seed,
-        verbose: args.verbose,
+        verbosity: args.verbosity,
         ..Default::default()
     }
 }
@@ -195,7 +195,7 @@ pub fn maybe_write_json(path: &Option<String>, value: &impl serde::Serialize) {
     if let Some(p) = path {
         let text = serde_json::to_string_pretty(value).expect("serialisable results");
         std::fs::write(p, text).unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
-        eprintln!("results written to {p}");
+        seqrec_obs::info!("results written to {p}");
     }
 }
 

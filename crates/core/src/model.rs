@@ -10,7 +10,7 @@
 use seqrec_data::batch::{epoch_batches, pad_left};
 use seqrec_data::Split;
 use seqrec_eval::SequenceScorer;
-use seqrec_models::common::{EarlyStopper, TrainOptions, TrainReport};
+use seqrec_models::common::{EarlyStopper, EpochClock, TrainOptions, TrainReport};
 use seqrec_models::encoder::EncoderConfig;
 use seqrec_models::sasrec::SasRec;
 use seqrec_tensor::init::{rng, TensorRng};
@@ -56,8 +56,8 @@ pub struct PretrainOptions {
     pub seed: u64,
     /// Stop after this many epochs without a new minimum training loss.
     pub patience: Option<usize>,
-    /// Print one line per epoch.
-    pub verbose: bool,
+    /// Console verbosity: 0 = silent, 1 = one line per epoch, 2 = chatty.
+    pub verbosity: u8,
 }
 
 impl Default for PretrainOptions {
@@ -68,7 +68,7 @@ impl Default for PretrainOptions {
             lr: 1e-3,
             seed: 7,
             patience: Some(3),
-            verbose: false,
+            verbosity: 0,
         }
     }
 }
@@ -80,6 +80,11 @@ pub struct PretrainReport {
     pub losses: Vec<f32>,
     /// Whether loss-based early stopping triggered.
     pub early_stopped: bool,
+    /// Wall-clock seconds per epoch (parallel to `losses`).
+    pub epoch_secs: Vec<f64>,
+    /// Training throughput per epoch in sequences/second (parallel to
+    /// `losses`).
+    pub seqs_per_sec: Vec<f64>,
 }
 
 /// The CL4SRec model.
@@ -134,20 +139,26 @@ impl Cl4sRec {
         let mut ids2 = Vec::with_capacity(n * t);
         let mut valid1 = Vec::with_capacity(n);
         let mut valid2 = Vec::with_capacity(n);
-        for seq in seqs {
-            let (view1, view2) = augs.two_views(seq, r);
-            let (i1, v1) = pad_left(&view1, t);
-            let (i2, v2) = pad_left(&view2, t);
-            ids1.extend(i1);
-            ids2.extend(i2);
-            valid1.push(v1);
-            valid2.push(v2);
+        {
+            let _aug = seqrec_obs::span!("augment");
+            for seq in seqs {
+                let (view1, view2) = augs.two_views(seq, r);
+                let (i1, v1) = pad_left(&view1, t);
+                let (i2, v2) = pad_left(&view2, t);
+                ids1.extend(i1);
+                ids2.extend(i2);
+                valid1.push(v1);
+                valid2.push(v2);
+            }
         }
-        let enc = self.sasrec.encoder();
-        let repr1 = enc.user_repr(step, &ids1, &valid1, training, r);
-        let repr2 = enc.user_repr(step, &ids2, &valid2, training, r);
-        let z1 = self.proj.forward(step, repr1);
-        let z2 = self.proj.forward(step, repr2);
+        let (z1, z2) = {
+            let _fwd = seqrec_obs::span!("forward");
+            let enc = self.sasrec.encoder();
+            let repr1 = enc.user_repr(step, &ids1, &valid1, training, r);
+            let repr2 = enc.user_repr(step, &ids2, &valid2, training, r);
+            (self.proj.forward(step, repr1), self.proj.forward(step, repr2))
+        };
+        let _ntx = seqrec_obs::span!("ntxent");
         nt_xent(step, z1, z2, self.cfg.tau)
     }
 
@@ -207,12 +218,15 @@ impl Cl4sRec {
         // EarlyStopper maximises, so feed it the negated loss.
         let mut stopper = EarlyStopper::new(opts.patience);
         for epoch in 0..opts.epochs {
+            let _epoch_span = seqrec_obs::span!("epoch");
+            let mut clock = EpochClock::start();
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
             for chunk in epoch_batches(&users, opts.batch_size, opts.seed + epoch as u64) {
                 if chunk.len() < 2 {
                     continue; // a singleton tail batch has no negatives
                 }
+                let _batch_span = seqrec_obs::span!("batch");
                 let seqs: Vec<&[u32]> = chunk.iter().map(|&u| split.train_sequence(u)).collect();
                 let mut step = Step::new();
                 let loss = self.contrastive_loss(&mut step, &seqs, augs, true, &mut r);
@@ -220,12 +234,16 @@ impl Cl4sRec {
                 adam.step(self, &step, &grads);
                 loss_sum += step.tape.value(loss).item() as f64;
                 batches += 1;
+                clock.batch_done(chunk.len());
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            if opts.verbose {
-                println!("[cl4srec-pretrain] epoch {epoch}: loss {mean_loss:.4}");
+            if opts.verbosity >= 1 {
+                seqrec_obs::info!("[cl4srec-pretrain] epoch {epoch}: loss {mean_loss:.4}");
             }
+            let log = clock.finish(epoch, mean_loss, None);
             report.losses.push(mean_loss);
+            report.epoch_secs.push(log.train_secs);
+            report.seqs_per_sec.push(log.seqs_per_sec);
             if stopper.update(-f64::from(mean_loss)) {
                 report.early_stopped = true;
                 break;
@@ -267,12 +285,15 @@ impl Cl4sRec {
         let mut report = TrainReport::default();
         let mut stopper = EarlyStopper::new(opts.patience);
         for epoch in 0..opts.epochs {
+            let _epoch_span = seqrec_obs::span!("epoch");
+            let mut clock = EpochClock::start();
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
             for chunk in epoch_batches(&users, opts.batch_size, opts.seed + epoch as u64) {
                 if chunk.len() < 2 {
                     continue;
                 }
+                let _batch_span = seqrec_obs::span!("batch");
                 let seqs: Vec<&[u32]> = chunk.iter().map(|&u| split.train_sequence(u)).collect();
                 let batch = seqrec_data::batch::next_item_batch(&seqs, t, &mut sampler);
                 let mut step = Step::new();
@@ -281,30 +302,37 @@ impl Cl4sRec {
                 adam.step(self, &step, &grads);
                 loss_sum += step.tape.value(loss).item() as f64;
                 batches += 1;
+                clock.batch_done(chunk.len());
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 = seqrec_models::common::probe_valid_hr10(
-                self,
-                split,
-                opts.valid_probe_users,
-                opts.seed,
-            );
-            if opts.verbose {
-                println!(
-                    "[cl4srec-joint] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {hr10:.4}"
-                );
-            }
-            report.epochs.push(seqrec_models::common::EpochLog {
-                epoch,
-                loss: mean_loss,
-                valid_hr10: Some(hr10),
+            let hr10 = opts.should_probe(epoch).then(|| {
+                clock.probe(|| {
+                    seqrec_models::common::probe_valid_hr10(
+                        self,
+                        split,
+                        opts.valid_probe_users,
+                        opts.seed,
+                    )
+                })
             });
-            if stopper.update(hr10) {
+            if opts.verbosity >= 1 {
+                match hr10 {
+                    Some(h) => seqrec_obs::info!(
+                        "[cl4srec-joint] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {h:.4}"
+                    ),
+                    None => {
+                        seqrec_obs::info!("[cl4srec-joint] epoch {epoch}: loss {mean_loss:.4}")
+                    }
+                }
+            }
+            report.epochs.push(clock.finish(epoch, mean_loss, hr10));
+            if hr10.is_some_and(|h| stopper.update(h)) {
                 report.early_stopped = true;
                 break;
             }
         }
         report.best_valid_hr10 = stopper.best();
+        report.finish_timing();
         report
     }
 

@@ -53,11 +53,13 @@ pub fn evaluate(
     target: EvalTarget,
     opts: &EvalOptions,
 ) -> RankingMetrics {
+    let _span = seqrec_obs::span!("eval");
     let catalog = model.num_items() + 1;
     let users: Vec<usize> = match &opts.users {
         Some(u) => u.clone(),
         None => (0..split.num_users()).collect(),
     };
+    seqrec_obs::metrics::EVAL_USERS.add(users.len() as u64);
     let mut acc = MetricsAccumulator::new(&opts.ks);
     for chunk in users.chunks(opts.batch_size.max(1)) {
         let inputs: Vec<Vec<u32>> = chunk
@@ -68,9 +70,13 @@ pub fn evaluate(
             })
             .collect();
         let input_refs: Vec<&[u32]> = inputs.iter().map(Vec::as_slice).collect();
-        let scores = model.score_full_catalog(chunk, &input_refs);
+        let scores = {
+            let _score = seqrec_obs::span!("eval.score");
+            model.score_full_catalog(chunk, &input_refs)
+        };
         assert_eq!(scores.len(), chunk.len(), "scorer returned wrong batch size");
 
+        let _rank = seqrec_obs::span!("eval.rank");
         let shard = chunk
             .par_iter()
             .zip(scores.par_iter())

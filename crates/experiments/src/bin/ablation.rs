@@ -31,6 +31,7 @@ struct AblationPoint {
 }
 
 fn main() {
+    let _obs = seqrec_obs::init_from_env();
     let mut args = ExpArgs::parse("ablation", "two-stage vs joint, temperature, identity control");
     if args.datasets.len() == 4 {
         args.datasets = vec!["beauty".into()];
@@ -48,7 +49,7 @@ fn main() {
 
         let mut record = |label: &str, m: &seqrec_eval::RankingMetrics| {
             println!("| {label} | {:.4} | {:.4} |", m.hr_at(10), m.ndcg_at(10));
-            eprintln!("[{name}] {label}: HR@10 {:.4}", m.hr_at(10));
+            seqrec_obs::info!("[{name}] {label}: HR@10 {:.4}", m.hr_at(10));
             out.push(AblationPoint {
                 dataset: name.clone(),
                 setting: label.to_string(),

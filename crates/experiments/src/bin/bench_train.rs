@@ -1,0 +1,209 @@
+//! Training-throughput benchmark: trains every fit loop for a fixed number
+//! of epochs with validation probes disabled (`probe_every = 0`) and reports
+//! wall seconds per epoch, sequence throughput, and GEMM FLOP/s per method,
+//! read back from the `seqrec_obs` metric registry.
+//!
+//! ```text
+//! cargo run --release -p seqrec-experiments --bin bench_train -- \
+//!     --scale 0.02 --epochs 3 --pretrain-epochs 2 --datasets beauty \
+//!     --out BENCH_train.json
+//! ```
+//!
+//! The JSON report also lands on stdout so `scripts/bench_train.sh` can tee
+//! it; all numbers are single-threaded (the in-tree rayon shim is serial).
+
+use cl4srec::augment::{AugmentationSet, Mask};
+use cl4srec::model::{Cl4sRec, Cl4sRecConfig, PretrainOptions};
+use seqrec_bench::args::ExpArgs;
+use seqrec_bench::runners::{prepare, Prepared};
+use seqrec_models::{
+    Bert4Rec, Bert4RecConfig, BprMf, BprMfConfig, Caser, CaserConfig, EncoderConfig, Fpmc,
+    FpmcConfig, Gru4Rec, Gru4RecConfig, Ncf, NcfConfig, SasRec, TrainOptions, TrainReport,
+};
+use serde::Serialize;
+
+/// One method's measured training throughput.
+#[derive(Clone, Debug, Serialize)]
+struct BenchRow {
+    /// Method label (Table 2 names; CL4SRec is split into its two stages).
+    method: String,
+    /// Dataset preset the method trained on.
+    dataset: String,
+    /// Epochs actually run.
+    epochs: usize,
+    /// Total wall-clock training seconds (probes disabled).
+    train_secs: f64,
+    /// Mean seconds per epoch.
+    secs_per_epoch: f64,
+    /// Training sequences consumed per second.
+    seqs_per_sec: f64,
+    /// Total GEMM floating-point operations (2·m·k·n per call).
+    gemm_flops: f64,
+    /// GEMM throughput over the training wall time.
+    gemm_gflops_per_sec: f64,
+    /// Autograd tape nodes recorded.
+    tape_nodes: f64,
+    /// Peak live tensor bytes, in MiB.
+    peak_tensor_mib: f64,
+}
+
+/// Reads the global metric registry into a row after a training run.
+fn row_from_metrics(
+    method: &str,
+    dataset: &str,
+    epochs: usize,
+    train_secs: f64,
+    sequences: f64,
+) -> BenchRow {
+    let flops = seqrec_obs::metrics::GEMM_FLOPS.get() as f64;
+    BenchRow {
+        method: method.to_string(),
+        dataset: dataset.to_string(),
+        epochs,
+        train_secs,
+        secs_per_epoch: if epochs > 0 { train_secs / epochs as f64 } else { 0.0 },
+        seqs_per_sec: if train_secs > 0.0 { sequences / train_secs } else { 0.0 },
+        gemm_flops: flops,
+        gemm_gflops_per_sec: if train_secs > 0.0 { flops / train_secs / 1e9 } else { 0.0 },
+        tape_nodes: seqrec_obs::metrics::TAPE_NODES.get() as f64,
+        peak_tensor_mib: seqrec_obs::metrics::TENSOR_LIVE_BYTES.peak() as f64 / (1024.0 * 1024.0),
+    }
+}
+
+fn baseline_row(
+    method: &str,
+    prep: &Prepared,
+    opts: &TrainOptions,
+    train: impl FnOnce(&Prepared, &TrainOptions) -> TrainReport,
+) -> BenchRow {
+    seqrec_obs::metrics::reset_all();
+    let report = train(prep, opts);
+    let sequences: u64 = report.epochs.iter().map(|e| e.sequences).sum();
+    seqrec_obs::info!(
+        "[bench_train] {method}/{}: {:.2}s/epoch, {:.0} seqs/s",
+        prep.name,
+        report.total_train_secs / report.epochs_run().max(1) as f64,
+        report.mean_seqs_per_sec
+    );
+    row_from_metrics(
+        method,
+        &prep.name,
+        report.epochs_run(),
+        report.total_train_secs,
+        sequences as f64,
+    )
+}
+
+fn bench_dataset(prep: &Prepared, args: &ExpArgs, rows: &mut Vec<BenchRow>) {
+    let num_items = prep.dataset.num_items();
+    let num_users = prep.split.num_users();
+    // Probes off: this harness measures the training loops alone.
+    let opts = TrainOptions {
+        epochs: args.epochs,
+        seed: args.seed,
+        patience: None,
+        probe_every: 0,
+        verbosity: args.verbosity,
+        ..Default::default()
+    };
+
+    rows.push(baseline_row("BPR-MF", prep, &opts, |p, o| {
+        BprMf::new(BprMfConfig::default(), num_users, num_items, args.seed).fit(&p.split, o)
+    }));
+    rows.push(baseline_row("FPMC", prep, &opts, |p, o| {
+        Fpmc::new(FpmcConfig::default(), num_users, num_items, args.seed).fit(&p.split, o)
+    }));
+    rows.push(baseline_row("NCF", prep, &opts, |p, o| {
+        Ncf::new(NcfConfig::default(), num_users, num_items, args.seed).fit(&p.split, o)
+    }));
+    rows.push(baseline_row("GRU4Rec", prep, &opts, |p, o| {
+        Gru4Rec::new(Gru4RecConfig::small(num_items), args.seed).fit(&p.split, o)
+    }));
+    rows.push(baseline_row("Caser", prep, &opts, |p, o| {
+        Caser::new(CaserConfig::small(num_items), num_users, args.seed).fit(&p.split, o)
+    }));
+    rows.push(baseline_row("BERT4Rec", prep, &opts, |p, o| {
+        Bert4Rec::new(Bert4RecConfig::small(num_items), args.seed).fit(&p.split, o)
+    }));
+    rows.push(baseline_row("SASRec", prep, &opts, |p, o| {
+        SasRec::new(EncoderConfig::small(num_items), args.seed).fit(&p.split, o)
+    }));
+
+    // CL4SRec, metered per stage so the contrastive pre-training cost is
+    // visible separately from the fine-tuning cost.
+    let mut model = Cl4sRec::new(Cl4sRecConfig::small(num_items), args.seed);
+    let augs = AugmentationSet::single(Mask { gamma: 0.5, mask_token: model.mask_token() });
+    let pre_opts = PretrainOptions {
+        epochs: args.pretrain_epochs,
+        seed: args.seed,
+        patience: None,
+        verbosity: args.verbosity,
+        ..Default::default()
+    };
+    seqrec_obs::metrics::reset_all();
+    let pre = model.pretrain(&prep.split, &augs, &pre_opts);
+    let pre_secs: f64 = pre.epoch_secs.iter().sum();
+    let pre_seqs: f64 =
+        pre.epoch_secs.iter().zip(&pre.seqs_per_sec).map(|(secs, rate)| secs * rate).sum();
+    seqrec_obs::info!(
+        "[bench_train] CL4SRec-pretrain/{}: {:.2}s/epoch",
+        prep.name,
+        pre_secs / pre.losses.len().max(1) as f64
+    );
+    rows.push(row_from_metrics(
+        "CL4SRec-pretrain",
+        &prep.name,
+        pre.losses.len(),
+        pre_secs,
+        pre_seqs,
+    ));
+
+    rows.push(baseline_row("CL4SRec-finetune", prep, &opts, |p, o| model.finetune(&p.split, o)));
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct BenchTrainReport {
+    generated_by: String,
+    note: String,
+    threads: String,
+    scale: f64,
+    epochs: usize,
+    pretrain_epochs: usize,
+    seed: u64,
+    rows: Vec<BenchRow>,
+}
+
+fn main() {
+    let _obs = seqrec_obs::init_from_env();
+    let args = ExpArgs::parse(
+        "bench_train",
+        "per-method training throughput (secs/epoch, seqs/s, GEMM FLOP/s)",
+    );
+    let mut rows = Vec::new();
+    for name in &args.datasets {
+        let prep = prepare(name, args.scale);
+        seqrec_obs::info!(
+            "[bench_train] {name}: {} users, {} items",
+            prep.split.num_users(),
+            prep.dataset.num_items()
+        );
+        bench_dataset(&prep, &args, &mut rows);
+    }
+    let report = BenchTrainReport {
+        generated_by: "scripts/bench_train.sh".to_string(),
+        note: "probes disabled (probe_every=0); gemm_flops counts 2*m*k*n per kernel call"
+            .to_string(),
+        threads: "1 (in-tree rayon shim is serial)".to_string(),
+        scale: args.scale,
+        epochs: args.epochs,
+        pretrain_epochs: args.pretrain_epochs,
+        seed: args.seed,
+        rows,
+    };
+    let text = serde_json::to_string_pretty(&report).expect("serialisable report");
+    println!("{text}");
+    if let Some(p) = &args.out {
+        std::fs::write(p, format!("{text}\n")).unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
+        seqrec_obs::info!("[bench_train] report written to {p}");
+    }
+}

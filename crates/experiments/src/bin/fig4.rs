@@ -32,6 +32,7 @@ struct Fig4Results {
 }
 
 fn main() {
+    let _obs = seqrec_obs::init_from_env();
     let args = ExpArgs::parse("fig4", "single-augmentation proportion sweep (Figure 4, RQ2)");
     println!("## Figure 4 — augmentation sweep (scale {}, rates {RATES:?})\n", args.scale);
 
@@ -39,7 +40,7 @@ fn main() {
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
         let (base, _) = run_sasrec_with(&prep, &args, None);
-        eprintln!("[{name}] SASRec baseline: HR@10 {:.4}", base.hr_at(10));
+        seqrec_obs::info!("[{name}] SASRec baseline: HR@10 {:.4}", base.hr_at(10));
         out.baselines.push((name.clone(), base.hr_at(10), base.ndcg_at(10)));
 
         println!(
@@ -58,7 +59,7 @@ fn main() {
                     _ => AugmentationSet::single(Reorder { beta: rate }),
                 };
                 let (m, secs) = run_cl4srec_with(&prep, &augs, &args, None);
-                eprintln!("[{name}] {op} {rate}: HR@10 {:.4} ({secs:.0}s)", m.hr_at(10));
+                seqrec_obs::info!("[{name}] {op} {rate}: HR@10 {:.4} ({secs:.0}s)", m.hr_at(10));
                 println!("| {op} | {rate} | {:.4} | {:.4} |", m.hr_at(10), m.ndcg_at(10));
                 out.points.push(SweepPoint {
                     dataset: name.clone(),

@@ -27,6 +27,7 @@ struct CompositionPoint {
 }
 
 fn main() {
+    let _obs = seqrec_obs::init_from_env();
     let mut args = ExpArgs::parse("fig5", "composition of augmentations (Figure 5, RQ3)");
     // The paper reports this experiment on Beauty and Yelp only.
     if args.datasets.len() == 4 {
@@ -63,7 +64,7 @@ fn main() {
         println!("|---|---|---|");
         for (label, augs) in settings {
             let (m, secs) = run_cl4srec_with(&prep, &augs, &args, None);
-            eprintln!("[{name}] {label}: HR@10 {:.4} ({secs:.0}s)", m.hr_at(10));
+            seqrec_obs::info!("[{name}] {label}: HR@10 {:.4} ({secs:.0}s)", m.hr_at(10));
             println!("| {label} | {:.4} | {:.4} |", m.hr_at(10), m.ndcg_at(10));
             out.push(CompositionPoint {
                 dataset: name.clone(),

@@ -25,6 +25,7 @@ struct SparsityPoint {
 }
 
 fn main() {
+    let _obs = seqrec_obs::init_from_env();
     let mut args = ExpArgs::parse("fig6", "training-data sparsity (Figure 6, RQ4)");
     if args.datasets.len() == 4 {
         args.datasets = vec!["beauty".into(), "yelp".into()];
@@ -44,7 +45,7 @@ fn main() {
             let (sas, _) = run_sasrec_with(&prep, &args, users.clone());
             let augs = AugmentationSet::single(Mask { gamma: 0.5, mask_token });
             let (cl, _) = run_cl4srec_with(&prep, &augs, &args, users);
-            eprintln!(
+            seqrec_obs::info!(
                 "[{name}] {:.0}%: SASRec {:.4} vs CL4SRec {:.4}",
                 frac * 100.0,
                 sas.hr_at(10),

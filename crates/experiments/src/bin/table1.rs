@@ -10,6 +10,7 @@ use seqrec_bench::runners::{maybe_write_json, prepare};
 use seqrec_eval::report::stats_markdown;
 
 fn main() {
+    let _obs = seqrec_obs::init_from_env();
     let args = ExpArgs::parse("table1", "dataset statistics after preprocessing (Table 1)");
     println!("## Table 1 — dataset statistics (scale {})\n", args.scale);
 

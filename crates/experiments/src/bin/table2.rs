@@ -11,6 +11,7 @@ use seqrec_bench::runners::{maybe_write_json, prepare, run_method, METHOD_ORDER}
 use seqrec_eval::DatasetResults;
 
 fn main() {
+    let _obs = seqrec_obs::init_from_env();
     let args = ExpArgs::parse(
         "table2",
         "overall performance comparison across all methods (Table 2, RQ1)",
@@ -23,7 +24,7 @@ fn main() {
     let mut all = Vec::new();
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
-        eprintln!(
+        seqrec_obs::info!(
             "[{name}] {} users, {} items, {} actions",
             prep.split.num_users(),
             prep.dataset.num_items(),
@@ -32,7 +33,7 @@ fn main() {
         let mut results = DatasetResults::new(name.clone());
         for method in METHOD_ORDER {
             let (metrics, secs) = run_method(method, &prep, &args);
-            eprintln!(
+            seqrec_obs::info!(
                 "[{name}] {method}: HR@10 {:.4}, NDCG@10 {:.4} ({secs:.0}s)",
                 metrics.hr_at(10),
                 metrics.ndcg_at(10)

@@ -10,6 +10,7 @@ use seqrec_bench::runners::{maybe_write_json, prepare, run_method, METHOD_ORDER_
 use seqrec_eval::DatasetResults;
 
 fn main() {
+    let _obs = seqrec_obs::init_from_env();
     let args = ExpArgs::parse(
         "table2x",
         "extended comparison incl. FPMC, Caser, BERT4Rec (ICDE camera-ready set)",
@@ -24,7 +25,7 @@ fn main() {
         let mut results = DatasetResults::new(name.clone());
         for method in METHOD_ORDER_EXTENDED {
             let (metrics, secs) = run_method(method, &prep, &args);
-            eprintln!(
+            seqrec_obs::info!(
                 "[{name}] {method}: HR@10 {:.4}, NDCG@10 {:.4} ({secs:.0}s)",
                 metrics.hr_at(10),
                 metrics.ndcg_at(10)

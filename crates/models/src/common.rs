@@ -1,4 +1,8 @@
-//! Shared training plumbing: options, per-epoch logs, early stopping.
+//! Shared training plumbing: options, per-epoch logs with wall-clock
+//! timing, early stopping, and the [`EpochClock`] that meters every fit
+//! loop (batches, sequences, per-phase seconds) through `seqrec_obs`.
+
+use std::time::Instant;
 
 use seqrec_data::Split;
 use seqrec_eval::{evaluate, EvalOptions, EvalTarget, SequenceScorer};
@@ -23,11 +27,16 @@ pub struct TrainOptions {
     /// validation every epoch would dominate runtime); the probe still ranks
     /// the entire catalog.
     pub valid_probe_users: usize,
+    /// Probe validation every N epochs (1 = every epoch, the paper setup;
+    /// 0 disables probing entirely — early stopping then never triggers).
+    pub probe_every: usize,
     /// Restrict training to these user indices (RQ4 data-sparsity sweeps);
     /// None trains on everyone.
     pub train_users: Option<Vec<usize>>,
-    /// Print one line per epoch.
-    pub verbose: bool,
+    /// Console verbosity: 0 = silent (tests), 1 = one line per epoch,
+    /// 2 = chatty diagnostics. Lines go through `seqrec_obs` so they are
+    /// also captured by any installed sink.
+    pub verbosity: u8,
 }
 
 impl Default for TrainOptions {
@@ -39,9 +48,17 @@ impl Default for TrainOptions {
             seed: 42,
             patience: Some(3),
             valid_probe_users: 500,
+            probe_every: 1,
             train_users: None,
-            verbose: false,
+            verbosity: 0,
         }
+    }
+}
+
+impl TrainOptions {
+    /// True when epoch `epoch` (0-based) should run the validation probe.
+    pub fn should_probe(&self, epoch: usize) -> bool {
+        self.probe_every > 0 && (epoch + 1).is_multiple_of(self.probe_every)
     }
 }
 
@@ -54,6 +71,14 @@ pub struct EpochLog {
     pub loss: f32,
     /// Validation HR@10 on the probe subset (None when not probed).
     pub valid_hr10: Option<f64>,
+    /// Wall-clock seconds spent training this epoch (excluding the probe).
+    pub train_secs: f64,
+    /// Wall-clock seconds spent in the validation probe (0 when skipped).
+    pub probe_secs: f64,
+    /// Training sequences consumed this epoch.
+    pub sequences: u64,
+    /// Training throughput: `sequences / train_secs`.
+    pub seqs_per_sec: f64,
 }
 
 /// Result of a training run.
@@ -65,6 +90,12 @@ pub struct TrainReport {
     pub best_valid_hr10: f64,
     /// Whether early stopping triggered.
     pub early_stopped: bool,
+    /// Total wall-clock training seconds across epochs (probe excluded).
+    pub total_train_secs: f64,
+    /// Total wall-clock seconds spent in validation probes.
+    pub total_probe_secs: f64,
+    /// Sequence throughput over the whole run (`Σ sequences / Σ train_secs`).
+    pub mean_seqs_per_sec: f64,
 }
 
 impl TrainReport {
@@ -76,6 +107,76 @@ impl TrainReport {
     /// Final training loss (NaN when no epoch ran).
     pub fn final_loss(&self) -> f32 {
         self.epochs.last().map_or(f32::NAN, |e| e.loss)
+    }
+
+    /// Fills the aggregate timing fields from the per-epoch logs. Every fit
+    /// loop calls this once before returning its report.
+    pub fn finish_timing(&mut self) {
+        self.total_train_secs = self.epochs.iter().map(|e| e.train_secs).sum();
+        self.total_probe_secs = self.epochs.iter().map(|e| e.probe_secs).sum();
+        let seqs: u64 = self.epochs.iter().map(|e| e.sequences).sum();
+        self.mean_seqs_per_sec =
+            if self.total_train_secs > 0.0 { seqs as f64 / self.total_train_secs } else { 0.0 };
+    }
+}
+
+/// Per-epoch stopwatch shared by every fit loop: meters batches and
+/// sequences into the process-global `seqrec_obs` counters, times the
+/// validation probe separately from training, and assembles the
+/// [`EpochLog`].
+pub struct EpochClock {
+    epoch_start: Instant,
+    batch_start: Instant,
+    sequences: u64,
+    probe_secs: f64,
+}
+
+impl Default for EpochClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl EpochClock {
+    /// Starts timing an epoch.
+    pub fn start() -> Self {
+        let now = Instant::now();
+        EpochClock { epoch_start: now, batch_start: now, sequences: 0, probe_secs: 0.0 }
+    }
+
+    /// Records one finished batch of `n_seqs` training sequences.
+    pub fn batch_done(&mut self, n_seqs: usize) {
+        self.sequences += n_seqs as u64;
+        seqrec_obs::metrics::TRAIN_BATCHES.incr();
+        seqrec_obs::metrics::TRAIN_SEQUENCES.add(n_seqs as u64);
+        let now = Instant::now();
+        let us = now.duration_since(self.batch_start).as_micros() as u64;
+        seqrec_obs::metrics::TRAIN_BATCH_US.record(us);
+        self.batch_start = now;
+    }
+
+    /// Runs `f` inside a `"probe"` span, timing it separately so probe cost
+    /// never pollutes training throughput.
+    pub fn probe<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let _span = seqrec_obs::span!("probe");
+        let t0 = Instant::now();
+        let out = f();
+        self.probe_secs += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Closes the epoch and produces its log entry.
+    pub fn finish(self, epoch: usize, loss: f32, valid_hr10: Option<f64>) -> EpochLog {
+        let train_secs = (self.epoch_start.elapsed().as_secs_f64() - self.probe_secs).max(0.0);
+        EpochLog {
+            epoch,
+            loss,
+            valid_hr10,
+            train_secs,
+            probe_secs: self.probe_secs,
+            sequences: self.sequences,
+            seqs_per_sec: if train_secs > 0.0 { self.sequences as f64 / train_secs } else { 0.0 },
+        }
     }
 }
 

@@ -20,7 +20,7 @@ use seqrec_tensor::optim::{Adam, AdamConfig};
 use seqrec_tensor::{linalg, Tensor, Var};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{EarlyStopper, EpochLog, TrainOptions, TrainReport};
+use crate::common::{EarlyStopper, EpochClock, TrainOptions, TrainReport};
 
 /// FPMC hyper-parameters.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -129,9 +129,12 @@ impl Fpmc {
         let mut report = TrainReport::default();
         let mut stopper = EarlyStopper::new(opts.patience);
         for epoch in 0..opts.epochs {
+            let _epoch_span = seqrec_obs::span!("epoch");
+            let mut clock = EpochClock::start();
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
             for chunk in epoch_batches(&users, opts.batch_size, opts.seed + epoch as u64) {
+                let _batch_span = seqrec_obs::span!("batch");
                 let mut u_ids = Vec::new();
                 let mut last_ids = Vec::new();
                 let mut pos_ids = Vec::new();
@@ -147,25 +150,38 @@ impl Fpmc {
                     }
                 }
                 let mut step = Step::new();
-                let loss = self.bpr_loss(&mut step, &u_ids, &last_ids, &pos_ids, &neg_ids);
+                let loss = {
+                    let _fwd = seqrec_obs::span!("forward");
+                    self.bpr_loss(&mut step, &u_ids, &last_ids, &pos_ids, &neg_ids)
+                };
                 let grads = step.tape.backward(loss);
                 adam.step(self, &step, &grads);
                 loss_sum += step.tape.value(loss).item() as f64;
                 batches += 1;
+                clock.batch_done(chunk.len());
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 =
-                crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed);
-            if opts.verbose {
-                println!("[fpmc] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {hr10:.4}");
+            let hr10 = opts.should_probe(epoch).then(|| {
+                clock.probe(|| {
+                    crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed)
+                })
+            });
+            if opts.verbosity >= 1 {
+                match hr10 {
+                    Some(h) => seqrec_obs::info!(
+                        "[fpmc] epoch {epoch}: loss {mean_loss:.4}, valid HR@10 {h:.4}"
+                    ),
+                    None => seqrec_obs::info!("[fpmc] epoch {epoch}: loss {mean_loss:.4}"),
+                }
             }
-            report.epochs.push(EpochLog { epoch, loss: mean_loss, valid_hr10: Some(hr10) });
-            if stopper.update(hr10) {
+            report.epochs.push(clock.finish(epoch, mean_loss, hr10));
+            if hr10.is_some_and(|h| stopper.update(h)) {
                 report.early_stopped = true;
                 break;
             }
         }
         report.best_valid_hr10 = stopper.best();
+        report.finish_timing();
         report
     }
 }

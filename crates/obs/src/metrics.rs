@@ -1,0 +1,399 @@
+//! The process-global metrics registry.
+//!
+//! Three primitive types, all updated with relaxed atomics so probes stay
+//! cheap enough to leave compiled into hot paths:
+//!
+//! * [`Counter`] — a monotonically increasing `u64`. Overflow **wraps**
+//!   (two's-complement `fetch_add` semantics): a counter that has run for
+//!   long enough to wrap is still useful as a delta source, and saturating
+//!   would cost a compare-exchange loop per probe.
+//! * [`Gauge`] — a signed level (e.g. live tensor bytes) that also tracks
+//!   its high-water mark. The peak is updated with `fetch_max`, so under
+//!   concurrent mutation it is a close approximation, not a serialised
+//!   maximum.
+//! * [`Histogram`] — fixed upper-inclusive buckets: a sample lands in the
+//!   first bucket whose bound is `>= value`, or in the overflow bucket when
+//!   it exceeds every bound.
+//!
+//! The well-known instruments of the training stack are declared here as
+//! statics ([`GEMM_FLOPS`], [`TAPE_NODES`], …) and enumerated by
+//! [`snapshot`], which is also what sinks serialise on flush.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+
+use crate::sink;
+
+/// Maximum number of explicit histogram buckets (excluding overflow).
+pub const MAX_BUCKETS: usize = 24;
+
+/// A wrapping, monotonically increasing event counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A new counter starting at zero.
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0) }
+    }
+
+    /// Adds `n`. Wraps on overflow (see the module docs).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets to zero (benchmark harnesses and tests).
+    pub fn reset(&self) {
+        self.value.store(0, Relaxed);
+    }
+}
+
+/// A signed level with an approximate high-water mark.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl Gauge {
+    /// A new gauge at zero.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge { name, value: AtomicI64::new(0), peak: AtomicI64::new(0) }
+    }
+
+    /// Moves the level by `delta` (negative to decrease); a positive move
+    /// also advances the peak.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let new = self.value.fetch_add(delta, Relaxed).wrapping_add(delta);
+        if delta > 0 {
+            self.peak.fetch_max(new, Relaxed);
+        }
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+
+    /// The high-water mark.
+    pub fn peak(&self) -> i64 {
+        self.peak.load(Relaxed)
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets level and peak to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Relaxed);
+        self.peak.store(0, Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram with upper-inclusive bucket bounds.
+pub struct Histogram {
+    name: &'static str,
+    bounds: &'static [u64],
+    counts: [AtomicU64; MAX_BUCKETS],
+    overflow: AtomicU64,
+}
+
+impl Histogram {
+    /// A new histogram over `bounds` (ascending, at most [`MAX_BUCKETS`]).
+    pub const fn new(name: &'static str, bounds: &'static [u64]) -> Self {
+        assert!(bounds.len() <= MAX_BUCKETS, "too many histogram buckets");
+        Histogram {
+            name,
+            bounds,
+            counts: [const { AtomicU64::new(0) }; MAX_BUCKETS],
+            overflow: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample: the first bucket with `bound >= value`, or the
+    /// overflow bucket.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        for (i, &b) in self.bounds.iter().enumerate() {
+            if value <= b {
+                self.counts[i].fetch_add(1, Relaxed);
+                return;
+            }
+        }
+        self.overflow.fetch_add(1, Relaxed);
+    }
+
+    /// The bucket bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts, in bound order.
+    pub fn counts(&self) -> Vec<u64> {
+        self.bounds.iter().enumerate().map(|(i, _)| self.counts[i].load(Relaxed)).collect()
+    }
+
+    /// Samples above every bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Relaxed)
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts().iter().sum::<u64>() + self.overflow()
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets all buckets.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Relaxed);
+        }
+        self.overflow.store(0, Relaxed);
+    }
+}
+
+// --- the well-known instruments of the training stack -----------------------
+
+/// Floating-point operations executed by the GEMM engine (2·m·k·n per call).
+pub static GEMM_FLOPS: Counter = Counter::new("gemm.flops");
+/// GEMM engine invocations (each batch element of a `bmm` counts once).
+pub static GEMM_CALLS: Counter = Counter::new("gemm.calls");
+/// Distribution of FLOPs per GEMM call (bounds in FLOPs).
+pub static GEMM_FLOPS_PER_CALL: Histogram =
+    Histogram::new("gemm.flops_per_call", &[1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26, 1 << 30]);
+/// Autograd tape nodes allocated (leaves + ops, across all tapes).
+pub static TAPE_NODES: Counter = Counter::new("tape.nodes");
+/// Reverse-mode sweeps executed.
+pub static TAPE_BACKWARD_RUNS: Counter = Counter::new("tape.backward.runs");
+/// Nodes whose backward closure actually ran during those sweeps.
+pub static TAPE_BACKWARD_NODES: Counter = Counter::new("tape.backward.nodes");
+/// Live tensor buffer bytes (gauge; its peak is the max resident set of
+/// tensor data).
+pub static TENSOR_LIVE_BYTES: Gauge = Gauge::new("tensor.live_bytes");
+/// Training mini-batches completed.
+pub static TRAIN_BATCHES: Counter = Counter::new("train.batches");
+/// Training sequences consumed.
+pub static TRAIN_SEQUENCES: Counter = Counter::new("train.sequences");
+/// Distribution of per-batch wall time (µs).
+pub static TRAIN_BATCH_US: Histogram = Histogram::new(
+    "train.batch_us",
+    &[100, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000],
+);
+/// Users scored by the evaluator.
+pub static EVAL_USERS: Counter = Counter::new("eval.users");
+
+/// One metric's value at snapshot time.
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge's current level and high-water mark.
+    Gauge {
+        /// Current level.
+        current: i64,
+        /// High-water mark.
+        peak: i64,
+    },
+    /// A histogram's buckets.
+    Histogram {
+        /// Upper-inclusive bucket bounds.
+        bounds: &'static [u64],
+        /// Per-bucket sample counts.
+        counts: Vec<u64>,
+        /// Samples above every bound.
+        overflow: u64,
+    },
+}
+
+/// A named metric reading.
+pub struct MetricReading {
+    /// Registry name.
+    pub name: &'static str,
+    /// The value read.
+    pub value: MetricValue,
+}
+
+fn counters() -> [&'static Counter; 8] {
+    [
+        &GEMM_FLOPS,
+        &GEMM_CALLS,
+        &TAPE_NODES,
+        &TAPE_BACKWARD_RUNS,
+        &TAPE_BACKWARD_NODES,
+        &TRAIN_BATCHES,
+        &TRAIN_SEQUENCES,
+        &EVAL_USERS,
+    ]
+}
+
+fn gauges() -> [&'static Gauge; 1] {
+    [&TENSOR_LIVE_BYTES]
+}
+
+fn histograms() -> [&'static Histogram; 2] {
+    [&GEMM_FLOPS_PER_CALL, &TRAIN_BATCH_US]
+}
+
+/// Reads every registered metric.
+pub fn snapshot() -> Vec<MetricReading> {
+    let mut out = Vec::new();
+    for c in counters() {
+        out.push(MetricReading { name: c.name(), value: MetricValue::Counter(c.get()) });
+    }
+    for g in gauges() {
+        out.push(MetricReading {
+            name: g.name(),
+            value: MetricValue::Gauge { current: g.get(), peak: g.peak() },
+        });
+    }
+    for h in histograms() {
+        out.push(MetricReading {
+            name: h.name(),
+            value: MetricValue::Histogram {
+                bounds: h.bounds(),
+                counts: h.counts(),
+                overflow: h.overflow(),
+            },
+        });
+    }
+    out
+}
+
+/// Resets every registered metric to zero (benchmark harnesses isolating
+/// per-phase readings; never called from library code).
+pub fn reset_all() {
+    for c in counters() {
+        c.reset();
+    }
+    for g in gauges() {
+        g.reset();
+    }
+    for h in histograms() {
+        h.reset();
+    }
+}
+
+/// Serialises a snapshot into the installed sink as counter events (gauges
+/// contribute `<name>.current` / `<name>.peak`; histograms one event per
+/// bucket plus `<name>.overflow`).
+pub fn emit_snapshot() {
+    if !sink::enabled() {
+        return;
+    }
+    let ts = sink::now_us();
+    let emit = |name: &str, value: u64| {
+        sink::dispatch(&crate::Event::Counter { name, value, ts_us: ts });
+    };
+    for reading in snapshot() {
+        match reading.value {
+            MetricValue::Counter(v) => emit(reading.name, v),
+            MetricValue::Gauge { current, peak } => {
+                emit(&format!("{}.current", reading.name), current.max(0) as u64);
+                emit(&format!("{}.peak", reading.name), peak.max(0) as u64);
+            }
+            MetricValue::Histogram { bounds, counts, overflow } => {
+                for (b, c) in bounds.iter().zip(&counts) {
+                    emit(&format!("{}.le_{b}", reading.name), *c);
+                }
+                emit(&format!("{}.overflow", reading.name), overflow);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let c = Counter::new("t");
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), 4);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_overflow_wraps() {
+        let c = Counter::new("t");
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+        c.add(3); // wraps past zero
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_peak() {
+        let g = Gauge::new("t");
+        g.add(100);
+        g.add(-40);
+        g.add(20);
+        assert_eq!(g.get(), 80);
+        assert_eq!(g.peak(), 100);
+        g.add(50);
+        assert_eq!(g.peak(), 130);
+    }
+
+    #[test]
+    fn gauge_can_go_negative_without_moving_peak() {
+        let g = Gauge::new("t");
+        g.add(-5);
+        assert_eq!(g.get(), -5);
+        assert_eq!(g.peak(), 0);
+    }
+
+    #[test]
+    fn histogram_bounds_are_upper_inclusive() {
+        static H: Histogram = Histogram::new("t", &[10, 100]);
+        H.reset();
+        H.record(0); // <= 10 -> bucket 0
+        H.record(10); // boundary value stays in bucket 0
+        H.record(11); // first value of bucket 1
+        H.record(100); // boundary value stays in bucket 1
+        H.record(101); // above every bound -> overflow
+        assert_eq!(H.counts(), vec![2, 2]);
+        assert_eq!(H.overflow(), 1);
+        assert_eq!(H.total(), 5);
+    }
+
+    #[test]
+    fn snapshot_enumerates_every_registered_metric() {
+        let names: Vec<&str> = snapshot().iter().map(|r| r.name).collect();
+        for expected in [
+            "gemm.flops",
+            "tape.nodes",
+            "tensor.live_bytes",
+            "train.batches",
+            "gemm.flops_per_call",
+        ] {
+            assert!(names.contains(&expected), "snapshot missing {expected}: {names:?}");
+        }
+    }
+}

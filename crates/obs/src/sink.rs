@@ -1,0 +1,424 @@
+//! Event sinks: where spans, logs and metric snapshots go.
+//!
+//! One sink is installed process-wide ([`install`] / [`uninstall`]); a
+//! relaxed [`enabled`] flag lets every probe site skip all work with a
+//! single atomic load when nothing is listening. Timestamps are
+//! microseconds since the first telemetry event of the process (the *trace
+//! epoch*), and every OS thread gets a small stable `tid` so traces from
+//! rayon workers interleave cleanly.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json;
+
+/// A telemetry event. Borrowed fields keep dispatch allocation-free for
+/// span events.
+pub enum Event<'a> {
+    /// A span opened (`B` in Chrome trace terms).
+    SpanBegin {
+        /// Static span name.
+        name: &'static str,
+        /// Emitting thread.
+        tid: u32,
+        /// Microseconds since the trace epoch.
+        ts_us: u64,
+        /// Nesting depth on that thread (0 = top level).
+        depth: u32,
+    },
+    /// A span closed (`E` in Chrome trace terms).
+    SpanEnd {
+        /// Static span name.
+        name: &'static str,
+        /// Emitting thread.
+        tid: u32,
+        /// Microseconds since the trace epoch.
+        ts_us: u64,
+        /// Wall-clock duration of the span in microseconds.
+        dur_us: u64,
+        /// Nesting depth on that thread (matches the begin event).
+        depth: u32,
+    },
+    /// A console log line.
+    Log {
+        /// `LEVEL_*` constant.
+        level: u8,
+        /// The formatted message.
+        msg: &'a str,
+        /// Emitting thread.
+        tid: u32,
+        /// Microseconds since the trace epoch.
+        ts_us: u64,
+    },
+    /// One metric reading from a snapshot flush.
+    Counter {
+        /// Metric name (flattened: gauges/histograms expand to several).
+        name: &'a str,
+        /// The reading.
+        value: u64,
+        /// Microseconds since the trace epoch.
+        ts_us: u64,
+    },
+}
+
+/// A destination for telemetry events. Implementations must be
+/// `Send + Sync`: events arrive from every thread, including rayon
+/// workers inside the GEMM engine.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn event(&self, ev: &Event<'_>);
+    /// Flushes buffered output.
+    fn flush(&self) {}
+    /// Finalises the output (a Chrome trace writes its closing `]`).
+    /// Called exactly once, by [`uninstall`].
+    fn finish(&self) {}
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DETAIL: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// True when a sink is installed. One relaxed load — this is the gate
+/// every [`crate::span!`] site checks first.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// True when per-kernel detail spans were requested in addition to a sink.
+#[inline]
+pub fn detail() -> bool {
+    DETAIL.load(Ordering::Relaxed)
+}
+
+/// Enables/disables per-kernel detail spans (normally set by
+/// [`crate::init_from_env`] from the `detail` directive).
+pub fn set_detail(on: bool) {
+    DETAIL.store(on, Ordering::Relaxed);
+}
+
+/// Microseconds since the trace epoch (the first call in the process).
+pub fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// The calling thread's stable telemetry id.
+pub fn tid() -> u32 {
+    TID.with(|t| *t)
+}
+
+fn sink_slot() -> std::sync::MutexGuard<'static, Option<Arc<dyn Sink>>> {
+    // A sink that panicked mid-event must not silence the rest of the run.
+    SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Installs `sink` process-wide, finalising any previous one.
+pub fn install(sink: Arc<dyn Sink>) {
+    let mut slot = sink_slot();
+    if let Some(old) = slot.take() {
+        old.flush();
+        old.finish();
+    }
+    *slot = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the installed sink after flushing and finalising it. Returns
+/// the sink so tests can inspect it.
+pub fn uninstall() -> Option<Arc<dyn Sink>> {
+    let mut slot = sink_slot();
+    ENABLED.store(false, Ordering::Release);
+    let old = slot.take();
+    if let Some(s) = &old {
+        s.flush();
+        s.finish();
+    }
+    old
+}
+
+/// Sends one event to the installed sink, if any.
+pub fn dispatch(ev: &Event<'_>) {
+    if !enabled() {
+        return;
+    }
+    let sink = sink_slot().clone();
+    if let Some(s) = sink {
+        s.event(ev);
+    }
+}
+
+/// Flushes the installed sink's buffers without uninstalling it.
+pub fn flush() {
+    let sink = sink_slot().clone();
+    if let Some(s) = sink {
+        s.flush();
+    }
+}
+
+// --- fan-out -----------------------------------------------------------------
+
+/// Forwards every event to several sinks (e.g. JSONL + Chrome trace at
+/// once).
+pub struct Fanout {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl Fanout {
+    /// Wraps `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        Fanout { sinks }
+    }
+}
+
+impl Sink for Fanout {
+    fn event(&self, ev: &Event<'_>) {
+        for s in &self.sinks {
+            s.event(ev);
+        }
+    }
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+    fn finish(&self) {
+        for s in &self.sinks {
+            s.finish();
+        }
+    }
+}
+
+// --- JSONL sink --------------------------------------------------------------
+
+fn level_name(level: u8) -> &'static str {
+    match level {
+        crate::LEVEL_SILENT => "silent",
+        crate::LEVEL_INFO => "info",
+        _ => "debug",
+    }
+}
+
+/// Machine-readable sink: one JSON object per line.
+///
+/// Line shapes (`ev` discriminates):
+///
+/// ```text
+/// {"ev":"span_begin","name":"batch","tid":1,"ts_us":12,"depth":0}
+/// {"ev":"span_end","name":"batch","tid":1,"ts_us":90,"dur_us":78,"depth":0}
+/// {"ev":"log","level":"info","msg":"...","tid":1,"ts_us":95}
+/// {"ev":"counter","name":"gemm.flops","value":123,"ts_us":99}
+/// ```
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Streams lines to a file at `path` (truncated).
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = File::create(path)?;
+        Ok(Self::to_writer(Box::new(BufWriter::new(f))))
+    }
+
+    /// Streams lines to an arbitrary writer (tests use a shared buffer).
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Self {
+        JsonlSink { out: Mutex::new(w) }
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut g = self.out.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = writeln!(g, "{line}");
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&self, ev: &Event<'_>) {
+        let mut s = String::with_capacity(96);
+        match ev {
+            Event::SpanBegin { name, tid, ts_us, depth } => {
+                s.push_str("{\"ev\":\"span_begin\",\"name\":");
+                json::write_str(&mut s, name);
+                s.push_str(&format!(",\"tid\":{tid},\"ts_us\":{ts_us},\"depth\":{depth}}}"));
+            }
+            Event::SpanEnd { name, tid, ts_us, dur_us, depth } => {
+                s.push_str("{\"ev\":\"span_end\",\"name\":");
+                json::write_str(&mut s, name);
+                s.push_str(&format!(
+                    ",\"tid\":{tid},\"ts_us\":{ts_us},\"dur_us\":{dur_us},\"depth\":{depth}}}"
+                ));
+            }
+            Event::Log { level, msg, tid, ts_us } => {
+                s.push_str("{\"ev\":\"log\",\"level\":");
+                json::write_str(&mut s, level_name(*level));
+                s.push_str(",\"msg\":");
+                json::write_str(&mut s, msg);
+                s.push_str(&format!(",\"tid\":{tid},\"ts_us\":{ts_us}}}"));
+            }
+            Event::Counter { name, value, ts_us } => {
+                s.push_str("{\"ev\":\"counter\",\"name\":");
+                json::write_str(&mut s, name);
+                s.push_str(&format!(",\"value\":{value},\"ts_us\":{ts_us}}}"));
+            }
+        }
+        self.write_line(&s);
+    }
+
+    fn flush(&self) {
+        let mut g = self.out.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = g.flush();
+    }
+}
+
+/// A `Write` handle over a shared byte buffer, for capturing a
+/// [`JsonlSink`] stream in memory (tests, the golden-neutrality guard).
+#[derive(Clone, Default)]
+pub struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// A fresh empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The captured bytes as UTF-8.
+    ///
+    /// # Panics
+    /// Panics if a sink wrote invalid UTF-8 (sinks only write JSON).
+    pub fn contents(&self) -> String {
+        let g = self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        String::from_utf8(g.clone()).expect("sink output is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// --- Chrome trace sink -------------------------------------------------------
+
+struct ChromeState {
+    w: Box<dyn Write + Send>,
+    first: bool,
+    finished: bool,
+}
+
+/// Writes the Chrome trace-event format (a JSON array of `B`/`E` duration
+/// events plus `i` instants and `C` counters) loadable by
+/// `chrome://tracing` and Perfetto.
+///
+/// The closing `]` is written by [`Sink::finish`] — drop the
+/// [`crate::ObsGuard`] (or call [`uninstall`]) before reading the file.
+/// Chrome itself tolerates a truncated array, but strict JSON parsers do
+/// not.
+pub struct ChromeTraceSink {
+    state: Mutex<ChromeState>,
+}
+
+impl ChromeTraceSink {
+    /// Writes the trace to a file at `path` (truncated).
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = File::create(path)?;
+        Ok(Self::to_writer(Box::new(BufWriter::new(f))))
+    }
+
+    /// Writes the trace to an arbitrary writer.
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Self {
+        let sink =
+            ChromeTraceSink { state: Mutex::new(ChromeState { w, first: true, finished: false }) };
+        {
+            let mut st = sink.lock_state();
+            let _ = st.w.write_all(b"[");
+        }
+        // Name the process so the trace viewer shows something readable.
+        sink.write_obj(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"seqrec\"}}",
+        );
+        sink
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ChromeState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write_obj(&self, obj: &str) {
+        let mut st = self.lock_state();
+        if st.finished {
+            return;
+        }
+        if st.first {
+            st.first = false;
+        } else {
+            let _ = st.w.write_all(b",\n");
+        }
+        let _ = st.w.write_all(obj.as_bytes());
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn event(&self, ev: &Event<'_>) {
+        let mut s = String::with_capacity(96);
+        match ev {
+            Event::SpanBegin { name, tid, ts_us, .. } => {
+                s.push_str("{\"name\":");
+                json::write_str(&mut s, name);
+                s.push_str(&format!(
+                    ",\"cat\":\"seqrec\",\"ph\":\"B\",\"ts\":{ts_us},\"pid\":1,\"tid\":{tid}}}"
+                ));
+            }
+            Event::SpanEnd { name, tid, ts_us, .. } => {
+                s.push_str("{\"name\":");
+                json::write_str(&mut s, name);
+                s.push_str(&format!(
+                    ",\"cat\":\"seqrec\",\"ph\":\"E\",\"ts\":{ts_us},\"pid\":1,\"tid\":{tid}}}"
+                ));
+            }
+            Event::Log { msg, tid, ts_us, .. } => {
+                s.push_str("{\"name\":");
+                json::write_str(&mut s, msg);
+                s.push_str(&format!(
+                    ",\"cat\":\"log\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us},\
+                     \"pid\":1,\"tid\":{tid}}}"
+                ));
+            }
+            Event::Counter { name, value, ts_us } => {
+                s.push_str("{\"name\":");
+                json::write_str(&mut s, name);
+                s.push_str(&format!(
+                    ",\"cat\":\"metrics\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":1,\"tid\":0,\
+                     \"args\":{{\"value\":{value}}}}}"
+                ));
+            }
+        }
+        self.write_obj(&s);
+    }
+
+    fn flush(&self) {
+        let mut st = self.lock_state();
+        let _ = st.w.flush();
+    }
+
+    fn finish(&self) {
+        let mut st = self.lock_state();
+        if !st.finished {
+            st.finished = true;
+            let _ = st.w.write_all(b"]\n");
+            let _ = st.w.flush();
+        }
+    }
+}

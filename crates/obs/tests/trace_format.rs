@@ -1,0 +1,202 @@
+//! Parse-back validation of the emitted trace formats.
+//!
+//! The sink is process-global, so every test here grabs `SINK_LOCK` first;
+//! the whole file shares one test binary to avoid cross-binary races.
+
+use std::sync::{Mutex, MutexGuard};
+
+use seqrec_obs::json::{self, Value};
+use seqrec_obs::sink::{self, SharedBuf};
+use seqrec_obs::{ChromeTraceSink, JsonlSink};
+
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    SINK_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Installs a JSONL sink over an in-memory buffer, runs `f`, uninstalls,
+/// and returns the captured text.
+fn capture_jsonl(f: impl FnOnce()) -> String {
+    let buf = SharedBuf::new();
+    sink::install(std::sync::Arc::new(JsonlSink::to_writer(Box::new(buf.clone()))));
+    f();
+    sink::uninstall();
+    buf.contents()
+}
+
+fn capture_chrome(f: impl FnOnce()) -> String {
+    let buf = SharedBuf::new();
+    sink::install(std::sync::Arc::new(ChromeTraceSink::to_writer(Box::new(buf.clone()))));
+    f();
+    sink::uninstall();
+    buf.contents()
+}
+
+#[test]
+fn jsonl_lines_parse_and_spans_pair_up() {
+    let _g = lock();
+    let text = capture_jsonl(|| {
+        let _outer = seqrec_obs::span!("epoch");
+        {
+            let _inner = seqrec_obs::span!("batch");
+            seqrec_obs::metrics::TRAIN_BATCHES.incr();
+        }
+        seqrec_obs::info!("hello from the test");
+    });
+
+    let mut begins = Vec::new();
+    let mut ends = Vec::new();
+    let mut saw_log = false;
+    for line in text.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        match v.get("ev").and_then(Value::as_str) {
+            Some("span_begin") => begins.push(v.clone()),
+            Some("span_end") => {
+                let dur = v.get("dur_us").and_then(Value::as_f64).expect("dur_us");
+                assert!(dur >= 0.0, "negative duration in {line}");
+                ends.push(v.clone());
+            }
+            Some("log") => {
+                saw_log = true;
+                assert_eq!(v.get("msg").and_then(Value::as_str), Some("hello from the test"));
+            }
+            Some("counter") | None => {}
+            Some(other) => panic!("unknown event kind {other}"),
+        }
+    }
+    assert!(saw_log, "log line missing from {text}");
+
+    // Every begin has exactly one end with the same name and depth, and
+    // nesting depths are what the lexical structure says.
+    let name_depth = |v: &Value| {
+        (
+            v.get("name").and_then(Value::as_str).unwrap().to_string(),
+            v.get("depth").and_then(Value::as_f64).unwrap() as u32,
+        )
+    };
+    let mut open: Vec<(String, u32)> = begins.iter().map(name_depth).collect();
+    for e in &ends {
+        let key = name_depth(e);
+        let pos = open
+            .iter()
+            .position(|k| *k == key)
+            .unwrap_or_else(|| panic!("end without begin: {key:?}"));
+        open.remove(pos);
+    }
+    assert!(open.is_empty(), "unclosed spans: {open:?}");
+    assert_eq!(begins.len(), 2);
+    assert!(begins.iter().any(|b| name_depth(b) == ("epoch".into(), 0)));
+    assert!(begins.iter().any(|b| name_depth(b) == ("batch".into(), 1)));
+}
+
+#[test]
+fn chrome_trace_is_one_valid_json_array_with_paired_events() {
+    let _g = lock();
+    let text = capture_chrome(|| {
+        let _fwd = seqrec_obs::span!("forward");
+        let _gemm = seqrec_obs::span!("gemm");
+    });
+
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("chrome trace not JSON: {e}\n{text}"));
+    let events = doc.as_arr().expect("top-level array");
+    assert!(!events.is_empty());
+
+    // Per-thread B/E events must nest like a well-formed bracket sequence.
+    let mut stack: Vec<&str> = Vec::new();
+    let mut last_ts = 0.0f64;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("ph");
+        match ph {
+            "B" => {
+                let ts = ev.get("ts").and_then(Value::as_f64).expect("ts");
+                assert!(ts >= last_ts, "timestamps must be monotonic");
+                last_ts = ts;
+                stack.push(ev.get("name").and_then(Value::as_str).expect("name"));
+            }
+            "E" => {
+                let open = stack.pop().expect("E without matching B");
+                assert_eq!(Some(open), ev.get("name").and_then(Value::as_str));
+            }
+            "M" | "i" | "C" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert!(stack.is_empty(), "unclosed B events: {stack:?}");
+    let names: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("B"))
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    assert_eq!(names, ["forward", "gemm"]);
+}
+
+#[test]
+fn panicking_code_still_closes_its_spans() {
+    let _g = lock();
+    let text = capture_jsonl(|| {
+        let caught = std::panic::catch_unwind(|| {
+            let _span = seqrec_obs::span!("doomed");
+            panic!("boom");
+        });
+        assert!(caught.is_err());
+        // Drop ran during unwinding: the thread's depth is back to zero.
+        assert_eq!(seqrec_obs::span::current_depth(), 0);
+    });
+    let kinds: Vec<(String, String)> = text
+        .lines()
+        .map(|l| {
+            let v = json::parse(l).unwrap();
+            (
+                v.get("ev").and_then(Value::as_str).unwrap().to_string(),
+                v.get("name").and_then(Value::as_str).unwrap_or("").to_string(),
+            )
+        })
+        .collect();
+    assert!(kinds.contains(&("span_begin".into(), "doomed".into())));
+    assert!(kinds.contains(&("span_end".into(), "doomed".into())), "unwind lost the end event");
+}
+
+#[test]
+fn metrics_snapshot_round_trips_through_the_jsonl_sink() {
+    let _g = lock();
+    seqrec_obs::metrics::reset_all();
+    let text = capture_jsonl(|| {
+        seqrec_obs::metrics::GEMM_FLOPS.add(123);
+        seqrec_obs::metrics::TENSOR_LIVE_BYTES.add(4096);
+        seqrec_obs::metrics::emit_snapshot();
+        seqrec_obs::metrics::TENSOR_LIVE_BYTES.add(-4096);
+    });
+    let mut counters = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let v = json::parse(line).unwrap();
+        if v.get("ev").and_then(Value::as_str) == Some("counter") {
+            counters.insert(
+                v.get("name").and_then(Value::as_str).unwrap().to_string(),
+                v.get("value").and_then(Value::as_f64).unwrap(),
+            );
+        }
+    }
+    assert_eq!(counters.get("gemm.flops"), Some(&123.0));
+    assert!(
+        counters.get("tensor.live_bytes.peak").is_some_and(|&p| p >= 4096.0),
+        "live-bytes peak missing: {counters:?}"
+    );
+    seqrec_obs::metrics::reset_all();
+}
+
+#[test]
+fn detail_spans_only_fire_when_requested() {
+    let _g = lock();
+    let without = capture_jsonl(|| {
+        sink::set_detail(false);
+        let _k = seqrec_obs::detail_span!("gemm.nn");
+    });
+    assert!(!without.contains("gemm.nn"));
+    let with = capture_jsonl(|| {
+        sink::set_detail(true);
+        let _k = seqrec_obs::detail_span!("gemm.nn");
+        sink::set_detail(false);
+    });
+    assert!(with.contains("gemm.nn"));
+}

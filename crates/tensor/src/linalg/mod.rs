@@ -211,7 +211,21 @@ fn use_simple(m: usize, k: usize, n: usize) -> bool {
     m * k * n < SMALL_THRESHOLD || m < MR || n < NR
 }
 
+/// One relaxed-atomic probe per GEMM call: total FLOPs (2·m·k·n), call
+/// count and a per-call FLOP histogram. All matmul entry points (2D and
+/// batched) funnel through the three `*_into` kernels, so this is the single
+/// place GEMM work is metered.
+#[inline]
+fn count_gemm(m: usize, k: usize, n: usize) {
+    let flops = 2 * (m as u64) * (k as u64) * (n as u64);
+    seqrec_obs::metrics::GEMM_FLOPS.add(flops);
+    seqrec_obs::metrics::GEMM_CALLS.incr();
+    seqrec_obs::metrics::GEMM_FLOPS_PER_CALL.record(flops);
+}
+
 fn nn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    count_gemm(m, k, n);
+    let _s = seqrec_obs::detail_span!("gemm.nn");
     if use_simple(m, k, n) {
         simple::nn(a, b, out, m, k, n);
     } else {
@@ -220,6 +234,8 @@ fn nn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) 
 }
 
 fn nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    count_gemm(m, k, n);
+    let _s = seqrec_obs::detail_span!("gemm.nt");
     if use_simple(m, k, n) {
         simple::nt(a, b, out, m, k, n);
     } else {
@@ -228,6 +244,8 @@ fn nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) 
 }
 
 fn tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    count_gemm(m, k, n);
+    let _s = seqrec_obs::detail_span!("gemm.tn");
     if use_simple(m, k, n) {
         simple::tn(a, b, out, m, k, n);
     } else {

@@ -110,6 +110,7 @@ impl Adam {
     /// gradient on `step`. Parameters without gradients (unused this step)
     /// are left untouched and their moments are not advanced.
     pub fn step<M: HasParams + ?Sized>(&mut self, model: &mut M, step: &Step, grads: &Gradients) {
+        let _span = seqrec_obs::span!("optim");
         let clip_scale = self.clip_scale(model, step, grads);
         let lr = self.current_lr();
         self.t += 1;
@@ -181,6 +182,7 @@ impl Sgd {
 
     /// `w -= lr * g` for every parameter with a gradient.
     pub fn step<M: HasParams + ?Sized>(&self, model: &mut M, step: &Step, grads: &Gradients) {
+        let _span = seqrec_obs::span!("optim");
         model.visit_mut(&mut |p: &mut Param| {
             if let Some(g) = p.grad(step, grads) {
                 let g = g.clone();

@@ -91,6 +91,7 @@ impl Tape {
     ) -> Var {
         debug_assert!(parents.iter().all(|p| p.id < self.nodes.len()));
         debug_assert!(value.is_finite(), "op produced non-finite values");
+        seqrec_obs::metrics::TAPE_NODES.incr();
         self.nodes.push(Node { value, parents, backward });
         Var { id: self.nodes.len() - 1 }
     }
@@ -102,6 +103,9 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not scalar-shaped (one element).
     pub fn backward(&self, loss: Var) -> Gradients {
+        let _span = seqrec_obs::span!("backward");
+        seqrec_obs::metrics::TAPE_BACKWARD_RUNS.incr();
+        seqrec_obs::metrics::TAPE_BACKWARD_NODES.add(self.nodes.len() as u64);
         let loss_val = self.value(loss);
         assert_eq!(
             loss_val.len(),

@@ -1,20 +1,71 @@
 //! The dense `f32` tensor type.
 //!
-//! Data is stored row-major in an `Arc<Vec<f32>>`, so cloning a tensor is
-//! O(1); mutation goes through [`Tensor::data_mut`] which copies only when
-//! the buffer is shared (copy-on-write). The autograd tape clones tensors
-//! freely — cheap clones keep that design practical.
+//! Data is stored row-major in an `Arc`-shared buffer, so cloning a tensor
+//! is O(1); mutation goes through [`Tensor::data_mut`] which copies only
+//! when the buffer is shared (copy-on-write). The autograd tape clones
+//! tensors freely — cheap clones keep that design practical. The buffer
+//! newtype ([`Buf`]) keeps a process-wide live-bytes gauge up to date, so
+//! peak tensor memory is observable per run.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 use crate::shape::Shape;
+
+/// The backing buffer of a tensor. A thin newtype over `Vec<f32>` whose
+/// construction/clone/drop keep the process-wide
+/// [`seqrec_obs::metrics::TENSOR_LIVE_BYTES`] gauge (level + high-water
+/// mark) in sync with the bytes actually allocated. `Arc` sharing — tensor
+/// clones, reshapes — allocates nothing and is therefore not counted; only
+/// real buffers are.
+pub(crate) struct Buf(Vec<f32>);
+
+impl Buf {
+    fn new(data: Vec<f32>) -> Self {
+        seqrec_obs::metrics::TENSOR_LIVE_BYTES.add((data.capacity() * 4) as i64);
+        Buf(data)
+    }
+}
+
+impl Clone for Buf {
+    fn clone(&self) -> Self {
+        // Reached via `Arc::make_mut` on shared storage: a genuine new
+        // allocation (the copy-on-write copy), so it is counted.
+        Buf::new(self.0.clone())
+    }
+}
+
+impl Drop for Buf {
+    fn drop(&mut self) {
+        seqrec_obs::metrics::TENSOR_LIVE_BYTES.add(-((self.0.capacity() * 4) as i64));
+    }
+}
+
+impl Deref for Buf {
+    type Target = Vec<f32>;
+    fn deref(&self) -> &Vec<f32> {
+        &self.0
+    }
+}
+
+impl DerefMut for Buf {
+    fn deref_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.0
+    }
+}
+
+impl PartialEq for Buf {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
 
 /// A dense, row-major, contiguous `f32` tensor with copy-on-write storage.
 #[derive(Clone)]
 pub struct Tensor {
     shape: Shape,
-    data: Arc<Vec<f32>>,
+    data: Arc<Buf>,
 }
 
 impl Tensor {
@@ -30,21 +81,21 @@ impl Tensor {
             "buffer length {} does not match shape {shape}",
             data.len()
         );
-        Tensor { shape, data: Arc::new(data) }
+        Tensor { shape, data: Arc::new(Buf::new(data)) }
     }
 
     /// A tensor filled with zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.len();
-        Tensor { shape, data: Arc::new(vec![0.0; n]) }
+        Tensor { shape, data: Arc::new(Buf::new(vec![0.0; n])) }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.len();
-        Tensor { shape, data: Arc::new(vec![value; n]) }
+        Tensor { shape, data: Arc::new(Buf::new(vec![value; n])) }
     }
 
     /// A tensor filled with ones.
@@ -54,7 +105,7 @@ impl Tensor {
 
     /// A rank-0 scalar.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: Arc::new(vec![value]) }
+        Tensor { shape: Shape::scalar(), data: Arc::new(Buf::new(vec![value])) }
     }
 
     /// The shape of the tensor.
@@ -150,7 +201,7 @@ impl Tensor {
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+        Tensor { shape: self.shape.clone(), data: Arc::new(Buf::new(data)) }
     }
 
     /// Combines two same-shape tensors elementwise with `f`.
@@ -160,7 +211,7 @@ impl Tensor {
     pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
         let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+        Tensor { shape: self.shape.clone(), data: Arc::new(Buf::new(data)) }
     }
 
     /// Accumulates `other` into `self` in place: `self += other`.

@@ -70,7 +70,7 @@ fn main() {
     let (pre, fine) = model.fit(
         &split,
         &augs,
-        &PretrainOptions { epochs: 6, verbose: true, ..Default::default() },
+        &PretrainOptions { epochs: 6, verbosity: 1, ..Default::default() },
         &TrainOptions { epochs: 10, valid_probe_users: 150, ..Default::default() },
     );
     println!(

@@ -29,9 +29,9 @@ fn main() {
 
     // 3. Two-stage training: NT-Xent pre-training, then next-item
     //    fine-tuning (both stages use Adam, as in the paper).
-    let pre_opts = PretrainOptions { epochs: 5, verbose: true, ..Default::default() };
+    let pre_opts = PretrainOptions { epochs: 5, verbosity: 1, ..Default::default() };
     let fine_opts =
-        TrainOptions { epochs: 10, verbose: true, valid_probe_users: 150, ..Default::default() };
+        TrainOptions { epochs: 10, verbosity: 1, valid_probe_users: 150, ..Default::default() };
     let (pre, fine) = model.fit(&split, &augs, &pre_opts, &fine_opts);
     println!(
         "pre-training: {} epochs (final contrastive loss {:.3})",

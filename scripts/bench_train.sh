@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the training-throughput benchmark (every baseline fit loop plus both
+# CL4SRec stages) and writes BENCH_train.json at the repo root: secs/epoch,
+# sequences/s, and GEMM FLOP/s per method, metered through seqrec-obs with
+# validation probes disabled.
+#
+# Usage: scripts/bench_train.sh [extra bench_train args...]
+# e.g.   scripts/bench_train.sh --scale 0.04 --epochs 5
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPORT="$PWD/BENCH_train.json"
+
+cargo run --offline --release -p seqrec-experiments --bin bench_train -- \
+    --scale 0.02 --epochs 3 --pretrain-epochs 2 --datasets beauty \
+    --out "$REPORT" "$@" >/dev/null
+
+python3 - "$REPORT" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+print(f"wrote {sys.argv[1]}")
+for r in report["rows"]:
+    print(
+        f"  {r['method']:>18s}/{r['dataset']}: "
+        f"{r['secs_per_epoch']:.2f}s/epoch, {r['seqs_per_sec']:.0f} seqs/s, "
+        f"{r['gemm_gflops_per_sec']:.2f} GFLOP/s"
+    )
+PY

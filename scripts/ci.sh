@@ -16,4 +16,37 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== scripts/test.sh"
 bash scripts/test.sh
 
+echo "== instrumented smoke train (JSONL sink)"
+SMOKE_JSONL="target/ci_smoke_obs.jsonl"
+rm -f "$SMOKE_JSONL"
+SEQREC_OBS="console=silent,jsonl=$SMOKE_JSONL" \
+    cargo run --offline --release -p seqrec-experiments --bin bench_train -- \
+    --scale 0.005 --epochs 2 --pretrain-epochs 1 --datasets beauty >/dev/null
+python3 - "$SMOKE_JSONL" <<'PY'
+import json
+import sys
+
+# Every line must parse, every span_begin must meet a matching span_end at
+# the same name+depth, and durations must be non-negative.
+open_spans = {}
+events = 0
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        ev = json.loads(line)  # raises on malformed JSONL
+        events += 1
+        kind = ev.get("ev")
+        if kind == "span_begin":
+            key = (ev["tid"], ev["name"], ev["depth"])
+            open_spans[key] = open_spans.get(key, 0) + 1
+        elif kind == "span_end":
+            key = (ev["tid"], ev["name"], ev["depth"])
+            assert open_spans.get(key, 0) > 0, f"line {n}: end without begin: {key}"
+            open_spans[key] -= 1
+            assert ev["dur_us"] >= 0, f"line {n}: negative duration"
+unclosed = {k: c for k, c in open_spans.items() if c}
+assert not unclosed, f"unclosed spans: {unclosed}"
+assert events > 100, f"suspiciously few telemetry events: {events}"
+print(f"smoke train OK: {events} well-formed JSONL events")
+PY
+
 echo "CI gate green."
