@@ -5,8 +5,11 @@
 
 use std::process::exit;
 
+use seqrec_models::common::AnomalyPolicy;
+use serde::Serialize;
+
 /// Common experiment options.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct ExpArgs {
     /// Fraction of the paper's dataset sizes to generate (Table 1 presets
     /// scaled down). Defaults keep a full run in CPU-minutes.
@@ -24,6 +27,11 @@ pub struct ExpArgs {
     /// Per-epoch logging: 0 = silent, 1 (`-v`) = per-epoch lines,
     /// 2 (`-vv`) = debug diagnostics.
     pub verbosity: u8,
+    /// Root directory for run ledgers (`<runs_dir>/<bin>-<seed>/`); None
+    /// (`--no-ledger`) disables the ledger entirely.
+    pub runs_dir: Option<String>,
+    /// Anomaly policy threaded into every fit (warn or abort).
+    pub on_anomaly: AnomalyPolicy,
 }
 
 impl ExpArgs {
@@ -37,6 +45,8 @@ impl ExpArgs {
             datasets: vec!["beauty".into(), "sports".into(), "toys".into(), "yelp".into()],
             out: None,
             verbosity: 0,
+            runs_dir: Some("runs".into()),
+            on_anomaly: AnomalyPolicy::Warn,
         }
     }
 
@@ -68,6 +78,15 @@ impl ExpArgs {
                         .collect();
                 }
                 "--out" => args.out = Some(take("--out")),
+                "--runs-dir" => args.runs_dir = Some(take("--runs-dir")),
+                "--no-ledger" => args.runs_dir = None,
+                "--on-anomaly" => {
+                    args.on_anomaly =
+                        AnomalyPolicy::parse(&take("--on-anomaly")).unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            exit(2);
+                        });
+                }
                 "--verbose" | "-v" => args.verbosity = args.verbosity.max(1),
                 "-vv" => args.verbosity = 2,
                 "--help" | "-h" => {
@@ -80,8 +99,12 @@ impl ExpArgs {
                          \x20 --seed <n>             RNG seed (default 42)\n\
                          \x20 --datasets <a,b,..>    subset of beauty,sports,toys,yelp\n\
                          \x20 --out <path>           write JSON results here\n\
+                         \x20 --runs-dir <dir>       run-ledger root (default runs/)\n\
+                         \x20 --no-ledger            disable the run ledger\n\
+                         \x20 --on-anomaly <p>       warn (default) or abort on NaN/Inf dynamics\n\
                          \x20 --verbose | -v         per-epoch logs (-vv for debug)\n\
-                         \x20 env SEQREC_OBS         telemetry sinks: console=LEVEL,jsonl=PATH,chrome=PATH,detail"
+                         \x20 env SEQREC_OBS         telemetry sinks: console=LEVEL,jsonl=PATH,chrome=PATH,detail\n\
+                         \x20                        (SEQREC_OBS=help prints the full grammar)"
                     );
                     exit(0);
                 }

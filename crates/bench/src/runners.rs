@@ -12,7 +12,80 @@ use seqrec_models::{
     FpmcConfig, Gru4Rec, Gru4RecConfig, Ncf, NcfConfig, Pop, SasRec, TrainOptions,
 };
 
+use seqrec_obs::ledger::RunLedger;
+
 use crate::args::ExpArgs;
+
+/// The run ledger of one experiments-binary invocation:
+/// `<runs_dir>/<bin>-<seed>/` holds the experiment's config.json,
+/// env.json, a metrics.jsonl line per trained method, and the final
+/// report.json, while each individual fit writes its own complete
+/// sub-ledger (per-epoch metrics, per-step dynamics) under `fits/`.
+pub struct ExpRun {
+    ledger: Option<RunLedger>,
+    root: Option<String>,
+}
+
+impl ExpRun {
+    /// Opens the ledger for `bin` (or a no-op handle under `--no-ledger`).
+    ///
+    /// # Panics
+    /// Panics when the ledger directory cannot be created.
+    pub fn start(bin: &str, args: &ExpArgs) -> ExpRun {
+        match &args.runs_dir {
+            None => ExpRun { ledger: None, root: None },
+            Some(runs_dir) => {
+                let dir = format!("{runs_dir}/{bin}-{}", args.seed);
+                let ledger = RunLedger::create(&dir)
+                    .unwrap_or_else(|e| panic!("cannot create run ledger at {dir}: {e}"));
+                let mut cfg = String::with_capacity(256);
+                cfg.push_str("{\"binary\":");
+                seqrec_obs::json::write_str(&mut cfg, bin);
+                cfg.push_str(",\"args\":");
+                cfg.push_str(&serde_json::to_string(args).expect("args serialize"));
+                cfg.push('}');
+                ledger.write_config(&cfg);
+                ledger.write_env_snapshot();
+                seqrec_obs::info!("run ledger: {dir}/");
+                ExpRun { ledger: Some(ledger), root: Some(dir) }
+            }
+        }
+    }
+
+    /// A no-op handle that writes nothing (tests, ad-hoc callers).
+    pub fn disabled() -> ExpRun {
+        ExpRun { ledger: None, root: None }
+    }
+
+    /// The run-ledger directory for one fit inside this experiment
+    /// (threaded into `TrainOptions::run_dir` / `PretrainOptions::run_dir`).
+    pub fn fit_dir(&self, label: &str) -> Option<String> {
+        self.root.as_ref().map(|r| format!("{r}/fits/{label}"))
+    }
+
+    /// Appends one method's summary metrics to the experiment's
+    /// metrics.jsonl.
+    pub fn log_result(&self, method: &str, dataset: &str, metrics: &RankingMetrics, secs: f64) {
+        if let Some(l) = &self.ledger {
+            let mut line = String::with_capacity(256);
+            line.push_str("{\"method\":");
+            seqrec_obs::json::write_str(&mut line, method);
+            line.push_str(",\"dataset\":");
+            seqrec_obs::json::write_str(&mut line, dataset);
+            line.push_str(&format!(",\"secs\":{secs},\"metrics\":"));
+            line.push_str(&serde_json::to_string(metrics).expect("metrics serialize"));
+            line.push('}');
+            l.append_metrics(&line);
+        }
+    }
+
+    /// Writes the experiment's final report.json.
+    pub fn finish(&self, report: &impl serde::Serialize) {
+        if let Some(l) = &self.ledger {
+            l.write_report(&serde_json::to_string_pretty(report).expect("report serializes"));
+        }
+    }
+}
 
 /// A generated dataset plus its leave-one-out split.
 pub struct Prepared {
@@ -48,6 +121,7 @@ pub fn train_opts(args: &ExpArgs) -> TrainOptions {
         seed: args.seed,
         verbosity: args.verbosity,
         valid_probe_users: 200,
+        on_anomaly: args.on_anomaly,
         ..Default::default()
     }
 }
@@ -58,6 +132,7 @@ pub fn pretrain_opts(args: &ExpArgs) -> PretrainOptions {
         epochs: args.pretrain_epochs,
         seed: args.seed,
         verbosity: args.verbosity,
+        on_anomaly: args.on_anomaly,
         ..Default::default()
     }
 }
@@ -68,12 +143,19 @@ pub fn eval_test(model: &impl SequenceScorer, split: &Split) -> RankingMetrics {
 }
 
 /// Trains and evaluates one named method; returns metrics and wall seconds.
-/// Method names match the paper's Table 2 columns.
-pub fn run_method(name: &str, prep: &Prepared, args: &ExpArgs) -> (RankingMetrics, f64) {
+/// Method names match the paper's Table 2 columns. Each fit writes its
+/// run-ledger sub-directory under the experiment's ledger (see [`ExpRun`]).
+pub fn run_method(
+    name: &str,
+    prep: &Prepared,
+    args: &ExpArgs,
+    run: &ExpRun,
+) -> (RankingMetrics, f64) {
     let t0 = Instant::now();
     let split = &prep.split;
     let num_items = prep.dataset.num_items();
-    let opts = train_opts(args);
+    let mut opts = train_opts(args);
+    opts.run_dir = run.fit_dir(&format!("{name}-{}", prep.name));
     let metrics = match name {
         "Pop" => {
             let model = Pop::fit(split);
@@ -120,7 +202,9 @@ pub fn run_method(name: &str, prep: &Prepared, args: &ExpArgs) -> (RankingMetric
             // stage 1: BPR-MF item factors
             let mut bpr =
                 BprMf::new(BprMfConfig::default(), split.num_users(), num_items, args.seed);
-            bpr.fit(split, &opts);
+            let mut bpr_opts = opts.clone();
+            bpr_opts.run_dir = run.fit_dir(&format!("SASRec_BPR-stage1-{}", prep.name));
+            bpr.fit(split, &bpr_opts);
             // stage 2: warm-started SASRec
             let mut model = SasRec::new(EncoderConfig::small(num_items), args.seed);
             model.warm_start_items(bpr.item_factors());
@@ -132,28 +216,41 @@ pub fn run_method(name: &str, prep: &Prepared, args: &ExpArgs) -> (RankingMetric
             // Table 2 default: the item-mask operator at γ = 0.5 (the
             // setting the paper also uses for its RQ4 experiments).
             let augs = AugmentationSet::single(Mask { gamma: 0.5, mask_token: model.mask_token() });
-            model.fit(split, &augs, &pretrain_opts(args), &opts);
+            let mut pre = pretrain_opts(args);
+            pre.run_dir = run.fit_dir(&format!("CL4SRec-pretrain-{}", prep.name));
+            model.fit(split, &augs, &pre, &opts);
             eval_test(&model, split)
         }
         other => panic!("unknown method `{other}`"),
     };
-    (metrics, t0.elapsed().as_secs_f64())
+    let secs = t0.elapsed().as_secs_f64();
+    run.log_result(name, &prep.name, &metrics, secs);
+    (metrics, secs)
 }
 
 /// Trains a CL4SRec variant with an explicit augmentation set (Figures 4-5)
-/// and an optional training-user subset (Figure 6).
+/// and an optional training-user subset (Figure 6). `label` names the
+/// variant's run-ledger directories under the experiment's ledger.
 pub fn run_cl4srec_with(
     prep: &Prepared,
     augs: &AugmentationSet,
     args: &ExpArgs,
     train_users: Option<Vec<usize>>,
+    run: &ExpRun,
+    label: &str,
 ) -> (RankingMetrics, f64) {
     let t0 = Instant::now();
     let mut model = Cl4sRec::new(Cl4sRecConfig::small(prep.dataset.num_items()), args.seed);
+    let mut pre = pretrain_opts(args);
+    pre.run_dir = run.fit_dir(&format!("{label}-pretrain-{}", prep.name));
     let mut fine = train_opts(args);
     fine.train_users = train_users;
-    model.fit(&prep.split, augs, &pretrain_opts(args), &fine);
-    (eval_test(&model, &prep.split), t0.elapsed().as_secs_f64())
+    fine.run_dir = run.fit_dir(&format!("{label}-{}", prep.name));
+    model.fit(&prep.split, augs, &pre, &fine);
+    let secs = t0.elapsed().as_secs_f64();
+    let metrics = eval_test(&model, &prep.split);
+    run.log_result(label, &prep.name, &metrics, secs);
+    (metrics, secs)
 }
 
 /// Trains a plain SASRec with an optional training-user subset (the dashed
@@ -162,13 +259,19 @@ pub fn run_sasrec_with(
     prep: &Prepared,
     args: &ExpArgs,
     train_users: Option<Vec<usize>>,
+    run: &ExpRun,
+    label: &str,
 ) -> (RankingMetrics, f64) {
     let t0 = Instant::now();
     let mut model = SasRec::new(EncoderConfig::small(prep.dataset.num_items()), args.seed);
     let mut opts = train_opts(args);
     opts.train_users = train_users;
+    opts.run_dir = run.fit_dir(&format!("{label}-{}", prep.name));
     model.fit(&prep.split, &opts);
-    (eval_test(&model, &prep.split), t0.elapsed().as_secs_f64())
+    let secs = t0.elapsed().as_secs_f64();
+    let metrics = eval_test(&model, &prep.split);
+    run.log_result(label, &prep.name, &metrics, secs);
+    (metrics, secs)
 }
 
 /// Table 2's method order (the arXiv version's baselines).
@@ -220,7 +323,7 @@ mod tests {
     fn pop_runs_end_to_end() {
         let prep = prepare("toys", 0.01);
         let args = ExpArgs { epochs: 1, pretrain_epochs: 1, ..ExpArgs::defaults() };
-        let (m, secs) = run_method("Pop", &prep, &args);
+        let (m, secs) = run_method("Pop", &prep, &args, &ExpRun::disabled());
         assert_eq!(m.users, prep.split.num_users());
         assert!(secs >= 0.0);
     }

@@ -10,7 +10,9 @@
 use seqrec_data::batch::{epoch_batches, pad_left};
 use seqrec_data::Split;
 use seqrec_eval::SequenceScorer;
-use seqrec_models::common::{EarlyStopper, EpochClock, TrainOptions, TrainReport};
+use seqrec_models::common::{
+    AnomalyPolicy, AnomalyReport, EarlyStopper, EpochClock, FitSession, TrainOptions, TrainReport,
+};
 use seqrec_models::encoder::EncoderConfig;
 use seqrec_models::sasrec::SasRec;
 use seqrec_tensor::init::{rng, TensorRng};
@@ -58,6 +60,11 @@ pub struct PretrainOptions {
     pub patience: Option<usize>,
     /// Console verbosity: 0 = silent, 1 = one line per epoch, 2 = chatty.
     pub verbosity: u8,
+    /// What to do when the contrastive loss or gradients go NaN/Inf.
+    pub on_anomaly: AnomalyPolicy,
+    /// When set, pre-training writes a run ledger into this directory
+    /// (same layout as [`TrainOptions::run_dir`]).
+    pub run_dir: Option<String>,
 }
 
 impl Default for PretrainOptions {
@@ -69,6 +76,8 @@ impl Default for PretrainOptions {
             seed: 7,
             patience: Some(3),
             verbosity: 0,
+            on_anomaly: AnomalyPolicy::Warn,
+            run_dir: None,
         }
     }
 }
@@ -85,6 +94,11 @@ pub struct PretrainReport {
     /// Training throughput per epoch in sequences/second (parallel to
     /// `losses`).
     pub seqs_per_sec: Vec<f64>,
+    /// First non-finite observation, if any (the run aborted here under
+    /// [`AnomalyPolicy::Abort`]).
+    pub anomaly: Option<AnomalyReport>,
+    /// Optimiser steps that observed a non-finite quantity.
+    pub anomalous_steps: u64,
 }
 
 /// The CL4SRec model.
@@ -215,6 +229,17 @@ impl Cl4sRec {
         let mut adam = Adam::new(AdamConfig { lr: opts.lr, ..AdamConfig::default() });
         let mut r = rng(opts.seed);
         let mut report = PretrainReport::default();
+        let config_json = serde_json::to_string(&self.cfg).expect("config serializes");
+        let opts_json = serde_json::to_string(opts).expect("pretrain options serialize");
+        let mut session = FitSession::with_policy(
+            "CL4SRec-pretrain",
+            &config_json,
+            &opts_json,
+            opts.on_anomaly,
+            opts.run_dir.as_deref(),
+            opts.verbosity,
+        );
+        let mut aborted = false;
         // EarlyStopper maximises, so feed it the negated loss.
         let mut stopper = EarlyStopper::new(opts.patience);
         for epoch in 0..opts.epochs {
@@ -231,24 +256,37 @@ impl Cl4sRec {
                 let mut step = Step::new();
                 let loss = self.contrastive_loss(&mut step, &seqs, augs, true, &mut r);
                 let grads = step.tape.backward(loss);
-                adam.step(self, &step, &grads);
-                loss_sum += step.tape.value(loss).item() as f64;
+                let stats = adam.step_with_stats(self, &step, &grads);
+                let batch_loss = step.tape.value(loss).item();
+                loss_sum += batch_loss as f64;
                 batches += 1;
                 clock.batch_done(chunk.len());
+                if session.observe_step(epoch, batch_loss, &stats) {
+                    aborted = true;
+                    break;
+                }
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
             if opts.verbosity >= 1 {
                 seqrec_obs::info!("[cl4srec-pretrain] epoch {epoch}: loss {mean_loss:.4}");
             }
-            let log = clock.finish(epoch, mean_loss, None);
+            let mut log = clock.finish(epoch, mean_loss, None);
+            session.stamp_epoch(&mut log);
             report.losses.push(mean_loss);
             report.epoch_secs.push(log.train_secs);
             report.seqs_per_sec.push(log.seqs_per_sec);
+            if aborted {
+                break;
+            }
             if stopper.update(-f64::from(mean_loss)) {
                 report.early_stopped = true;
                 break;
             }
         }
+        report.anomaly = session.anomaly().cloned();
+        report.anomalous_steps = session.anomalous_steps();
+        let report_json = serde_json::to_string(&report).expect("pretrain report serializes");
+        session.finish_json(&report_json);
         report
     }
 
@@ -284,6 +322,9 @@ impl Cl4sRec {
 
         let mut report = TrainReport::default();
         let mut stopper = EarlyStopper::new(opts.patience);
+        let config_json = serde_json::to_string(&self.cfg).expect("config serializes");
+        let mut session = FitSession::start("CL4SRec-joint", &config_json, opts);
+        let mut aborted = false;
         for epoch in 0..opts.epochs {
             let _epoch_span = seqrec_obs::span!("epoch");
             let mut clock = EpochClock::start();
@@ -299,13 +340,18 @@ impl Cl4sRec {
                 let mut step = Step::new();
                 let loss = self.joint_loss(&mut step, &batch, &seqs, augs, lambda, true, &mut r);
                 let grads = step.tape.backward(loss);
-                adam.step(self, &step, &grads);
-                loss_sum += step.tape.value(loss).item() as f64;
+                let stats = adam.step_with_stats(self, &step, &grads);
+                let batch_loss = step.tape.value(loss).item();
+                loss_sum += batch_loss as f64;
                 batches += 1;
                 clock.batch_done(chunk.len());
+                if session.observe_step(epoch, batch_loss, &stats) {
+                    aborted = true;
+                    break;
+                }
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 = opts.should_probe(epoch).then(|| {
+            let hr10 = (!aborted && opts.should_probe(epoch)).then(|| {
                 clock.probe(|| {
                     seqrec_models::common::probe_valid_hr10(
                         self,
@@ -325,7 +371,12 @@ impl Cl4sRec {
                     }
                 }
             }
-            report.epochs.push(clock.finish(epoch, mean_loss, hr10));
+            let mut log = clock.finish(epoch, mean_loss, hr10);
+            session.stamp_epoch(&mut log);
+            report.epochs.push(log);
+            if aborted {
+                break;
+            }
             if hr10.is_some_and(|h| stopper.update(h)) {
                 report.early_stopped = true;
                 break;
@@ -333,6 +384,7 @@ impl Cl4sRec {
         }
         report.best_valid_hr10 = stopper.best();
         report.finish_timing();
+        session.finish(&mut report);
         report
     }
 

@@ -18,7 +18,7 @@ use cl4srec::augment::{AugmentationSet, Identity, Mask};
 use cl4srec::model::{Cl4sRec, Cl4sRecConfig};
 use seqrec_bench::args::ExpArgs;
 use seqrec_bench::runners::{
-    eval_test, maybe_write_json, prepare, pretrain_opts, run_sasrec_with, train_opts,
+    eval_test, maybe_write_json, prepare, pretrain_opts, run_sasrec_with, train_opts, ExpRun,
 };
 use serde::Serialize;
 
@@ -38,6 +38,7 @@ fn main() {
     }
     println!("## Ablations (scale {})\n", args.scale);
 
+    let run = ExpRun::start("ablation", &args);
     let mut out: Vec<AblationPoint> = Vec::new();
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
@@ -59,7 +60,7 @@ fn main() {
         };
 
         // plain SASRec reference
-        let (sas, _) = run_sasrec_with(&prep, &args, None);
+        let (sas, _) = run_sasrec_with(&prep, &args, None, &run, "SASRec");
         record("SASRec (no CL)", &sas);
 
         // two-stage at several temperatures
@@ -68,7 +69,11 @@ fn main() {
             cfg.tau = tau;
             let mut model = Cl4sRec::new(cfg, args.seed);
             let augs = AugmentationSet::single(Mask { gamma: 0.5, mask_token });
-            model.fit(&prep.split, &augs, &pretrain_opts(&args), &train_opts(&args));
+            let mut pre = pretrain_opts(&args);
+            pre.run_dir = run.fit_dir(&format!("tau{tau}-pretrain-{name}"));
+            let mut fine = train_opts(&args);
+            fine.run_dir = run.fit_dir(&format!("tau{tau}-{name}"));
+            model.fit(&prep.split, &augs, &pre, &fine);
             record(&format!("two-stage, τ={tau}"), &eval_test(&model, &prep.split));
         }
 
@@ -76,16 +81,23 @@ fn main() {
         for lambda in [0.05f32, 0.1, 0.3] {
             let mut model = Cl4sRec::new(Cl4sRecConfig::small(n), args.seed);
             let augs = AugmentationSet::single(Mask { gamma: 0.5, mask_token });
-            model.fit_joint(&prep.split, &augs, lambda, &train_opts(&args));
+            let mut opts = train_opts(&args);
+            opts.run_dir = run.fit_dir(&format!("joint{lambda}-{name}"));
+            model.fit_joint(&prep.split, &augs, lambda, &opts);
             record(&format!("joint, λ={lambda}"), &eval_test(&model, &prep.split));
         }
 
         // identity-augmentation control
         let mut model = Cl4sRec::new(Cl4sRecConfig::small(n), args.seed);
         let augs = AugmentationSet::single(Identity);
-        model.fit(&prep.split, &augs, &pretrain_opts(&args), &train_opts(&args));
+        let mut pre = pretrain_opts(&args);
+        pre.run_dir = run.fit_dir(&format!("identity-pretrain-{name}"));
+        let mut fine = train_opts(&args);
+        fine.run_dir = run.fit_dir(&format!("identity-{name}"));
+        model.fit(&prep.split, &augs, &pre, &fine);
         record("two-stage, identity views (control)", &eval_test(&model, &prep.split));
         println!();
     }
+    run.finish(&out);
     maybe_write_json(&args.out, &out);
 }

@@ -15,7 +15,7 @@
 use cl4srec::augment::{AugmentationSet, Mask};
 use cl4srec::model::{Cl4sRec, Cl4sRecConfig, PretrainOptions};
 use seqrec_bench::args::ExpArgs;
-use seqrec_bench::runners::{prepare, Prepared};
+use seqrec_bench::runners::{prepare, ExpRun, Prepared};
 use seqrec_models::{
     Bert4Rec, Bert4RecConfig, BprMf, BprMfConfig, Caser, CaserConfig, EncoderConfig, Fpmc,
     FpmcConfig, Gru4Rec, Gru4RecConfig, Ncf, NcfConfig, SasRec, TrainOptions, TrainReport,
@@ -179,6 +179,10 @@ fn main() {
         "bench_train",
         "per-method training throughput (secs/epoch, seqs/s, GEMM FLOP/s)",
     );
+    // Experiment-level ledger only: the per-fit sub-ledgers stay off here
+    // (run_dir = None) so per-step dynamics writes cannot skew the timings
+    // this harness exists to measure.
+    let run = ExpRun::start("bench_train", &args);
     let mut rows = Vec::new();
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
@@ -200,6 +204,7 @@ fn main() {
         seed: args.seed,
         rows,
     };
+    run.finish(&report);
     let text = serde_json::to_string_pretty(&report).expect("serialisable report");
     println!("{text}");
     if let Some(p) = &args.out {

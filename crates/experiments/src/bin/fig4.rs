@@ -10,7 +10,7 @@
 
 use cl4srec::augment::{AugmentationSet, Crop, Mask, Reorder};
 use seqrec_bench::args::ExpArgs;
-use seqrec_bench::runners::{maybe_write_json, prepare, run_cl4srec_with, run_sasrec_with};
+use seqrec_bench::runners::{maybe_write_json, prepare, run_cl4srec_with, run_sasrec_with, ExpRun};
 use serde::Serialize;
 
 /// The rates swept by the paper.
@@ -36,10 +36,11 @@ fn main() {
     let args = ExpArgs::parse("fig4", "single-augmentation proportion sweep (Figure 4, RQ2)");
     println!("## Figure 4 — augmentation sweep (scale {}, rates {RATES:?})\n", args.scale);
 
+    let run = ExpRun::start("fig4", &args);
     let mut out = Fig4Results { baselines: Vec::new(), points: Vec::new() };
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
-        let (base, _) = run_sasrec_with(&prep, &args, None);
+        let (base, _) = run_sasrec_with(&prep, &args, None, &run, "SASRec");
         seqrec_obs::info!("[{name}] SASRec baseline: HR@10 {:.4}", base.hr_at(10));
         out.baselines.push((name.clone(), base.hr_at(10), base.ndcg_at(10)));
 
@@ -58,7 +59,8 @@ fn main() {
                     "mask" => AugmentationSet::single(Mask { gamma: rate, mask_token }),
                     _ => AugmentationSet::single(Reorder { beta: rate }),
                 };
-                let (m, secs) = run_cl4srec_with(&prep, &augs, &args, None);
+                let (m, secs) =
+                    run_cl4srec_with(&prep, &augs, &args, None, &run, &format!("{op}{rate}"));
                 seqrec_obs::info!("[{name}] {op} {rate}: HR@10 {:.4} ({secs:.0}s)", m.hr_at(10));
                 println!("| {op} | {rate} | {:.4} | {:.4} |", m.hr_at(10), m.ndcg_at(10));
                 out.points.push(SweepPoint {
@@ -72,5 +74,6 @@ fn main() {
         }
         println!();
     }
+    run.finish(&out);
     maybe_write_json(&args.out, &out);
 }

@@ -9,7 +9,7 @@
 
 use cl4srec::augment::{AugmentationSet, Crop, Mask, Reorder};
 use seqrec_bench::args::ExpArgs;
-use seqrec_bench::runners::{maybe_write_json, prepare, run_cl4srec_with};
+use seqrec_bench::runners::{maybe_write_json, prepare, run_cl4srec_with, ExpRun};
 use serde::Serialize;
 
 /// Per-operator rates used for composition (the paper composes each
@@ -38,6 +38,7 @@ fn main() {
         args.scale
     );
 
+    let run = ExpRun::start("fig5", &args);
     let mut out: Vec<CompositionPoint> = Vec::new();
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
@@ -63,7 +64,7 @@ fn main() {
         println!("| setting | HR@10 | NDCG@10 |");
         println!("|---|---|---|");
         for (label, augs) in settings {
-            let (m, secs) = run_cl4srec_with(&prep, &augs, &args, None);
+            let (m, secs) = run_cl4srec_with(&prep, &augs, &args, None, &run, &label);
             seqrec_obs::info!("[{name}] {label}: HR@10 {:.4} ({secs:.0}s)", m.hr_at(10));
             println!("| {label} | {:.4} | {:.4} |", m.hr_at(10), m.ndcg_at(10));
             out.push(CompositionPoint {
@@ -75,5 +76,6 @@ fn main() {
         }
         println!();
     }
+    run.finish(&out);
     maybe_write_json(&args.out, &out);
 }

@@ -10,7 +10,7 @@
 
 use cl4srec::augment::{AugmentationSet, Mask};
 use seqrec_bench::args::ExpArgs;
-use seqrec_bench::runners::{maybe_write_json, prepare, run_cl4srec_with, run_sasrec_with};
+use seqrec_bench::runners::{maybe_write_json, prepare, run_cl4srec_with, run_sasrec_with, ExpRun};
 use serde::Serialize;
 
 const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
@@ -32,6 +32,7 @@ fn main() {
     }
     println!("## Figure 6 — impact of the amount of training data (scale {}, γ=0.5)\n", args.scale);
 
+    let run = ExpRun::start("fig6", &args);
     let mut out: Vec<SparsityPoint> = Vec::new();
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
@@ -42,9 +43,12 @@ fn main() {
         for frac in FRACTIONS {
             let users =
                 if frac < 1.0 { Some(prep.split.train_user_subset(frac, args.seed)) } else { None };
-            let (sas, _) = run_sasrec_with(&prep, &args, users.clone());
+            let pct = (frac * 100.0) as u32;
+            let (sas, _) =
+                run_sasrec_with(&prep, &args, users.clone(), &run, &format!("SASRec-{pct}pct"));
             let augs = AugmentationSet::single(Mask { gamma: 0.5, mask_token });
-            let (cl, _) = run_cl4srec_with(&prep, &augs, &args, users);
+            let (cl, _) =
+                run_cl4srec_with(&prep, &augs, &args, users, &run, &format!("CL4SRec-{pct}pct"));
             seqrec_obs::info!(
                 "[{name}] {:.0}%: SASRec {:.4} vs CL4SRec {:.4}",
                 frac * 100.0,
@@ -71,5 +75,6 @@ fn main() {
         }
         println!();
     }
+    run.finish(&out);
     maybe_write_json(&args.out, &out);
 }

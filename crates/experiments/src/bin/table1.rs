@@ -6,7 +6,7 @@
 //! ```
 
 use seqrec_bench::args::ExpArgs;
-use seqrec_bench::runners::{maybe_write_json, prepare};
+use seqrec_bench::runners::{maybe_write_json, prepare, ExpRun};
 use seqrec_eval::report::stats_markdown;
 
 fn main() {
@@ -14,6 +14,7 @@ fn main() {
     let args = ExpArgs::parse("table1", "dataset statistics after preprocessing (Table 1)");
     println!("## Table 1 — dataset statistics (scale {})\n", args.scale);
 
+    let run = ExpRun::start("table1", &args);
     let mut rows = Vec::new();
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
@@ -25,5 +26,6 @@ fn main() {
          25598/18357/296337/8.3/0.05% · toys 19412/11924/167597/8.6/0.07% · \
          yelp 30431/20033/316354/10.4/0.05%"
     );
+    run.finish(&rows);
     maybe_write_json(&args.out, &rows);
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use seqrec_bench::args::ExpArgs;
-use seqrec_bench::runners::{maybe_write_json, prepare, run_method, METHOD_ORDER};
+use seqrec_bench::runners::{maybe_write_json, prepare, run_method, ExpRun, METHOD_ORDER};
 use seqrec_eval::DatasetResults;
 
 fn main() {
@@ -21,6 +21,7 @@ fn main() {
         args.scale, args.epochs, args.pretrain_epochs
     );
 
+    let run = ExpRun::start("table2", &args);
     let mut all = Vec::new();
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
@@ -32,7 +33,7 @@ fn main() {
         );
         let mut results = DatasetResults::new(name.clone());
         for method in METHOD_ORDER {
-            let (metrics, secs) = run_method(method, &prep, &args);
+            let (metrics, secs) = run_method(method, &prep, &args, &run);
             seqrec_obs::info!(
                 "[{name}] {method}: HR@10 {:.4}, NDCG@10 {:.4} ({secs:.0}s)",
                 metrics.hr_at(10),
@@ -43,5 +44,6 @@ fn main() {
         println!("{}", results.to_markdown(&["SASRec", "SASRec_BPR"]));
         all.push(results);
     }
+    run.finish(&all);
     maybe_write_json(&args.out, &all);
 }

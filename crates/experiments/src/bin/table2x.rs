@@ -6,7 +6,7 @@
 //! ```
 
 use seqrec_bench::args::ExpArgs;
-use seqrec_bench::runners::{maybe_write_json, prepare, run_method, METHOD_ORDER_EXTENDED};
+use seqrec_bench::runners::{maybe_write_json, prepare, run_method, ExpRun, METHOD_ORDER_EXTENDED};
 use seqrec_eval::DatasetResults;
 
 fn main() {
@@ -19,12 +19,13 @@ fn main() {
         "## Table 2 (extended) — ICDE baseline set (scale {}, epochs {})\n",
         args.scale, args.epochs
     );
+    let run = ExpRun::start("table2x", &args);
     let mut all = Vec::new();
     for name in &args.datasets {
         let prep = prepare(name, args.scale);
         let mut results = DatasetResults::new(name.clone());
         for method in METHOD_ORDER_EXTENDED {
-            let (metrics, secs) = run_method(method, &prep, &args);
+            let (metrics, secs) = run_method(method, &prep, &args, &run);
             seqrec_obs::info!(
                 "[{name}] {method}: HR@10 {:.4}, NDCG@10 {:.4} ({secs:.0}s)",
                 metrics.hr_at(10),
@@ -35,5 +36,6 @@ fn main() {
         println!("{}", results.to_markdown(&["SASRec"]));
         all.push(results);
     }
+    run.finish(&all);
     maybe_write_json(&args.out, &all);
 }

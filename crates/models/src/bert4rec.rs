@@ -19,7 +19,7 @@ use seqrec_tensor::optim::{Adam, AdamConfig};
 use seqrec_tensor::{linalg, Var};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{EarlyStopper, EpochClock, TrainOptions, TrainReport};
+use crate::common::{EarlyStopper, EpochClock, FitSession, TrainOptions, TrainReport};
 use crate::encoder::{EncoderConfig, TransformerEncoder};
 
 /// BERT4Rec hyper-parameters.
@@ -123,6 +123,9 @@ impl Bert4Rec {
 
         let mut report = TrainReport::default();
         let mut stopper = EarlyStopper::new(opts.patience);
+        let config_json = serde_json::to_string(&self.cfg).expect("config serializes");
+        let mut session = FitSession::start("BERT4Rec", &config_json, opts);
+        let mut aborted = false;
         for epoch in 0..opts.epochs {
             let _epoch_span = seqrec_obs::span!("epoch");
             let mut clock = EpochClock::start();
@@ -137,13 +140,18 @@ impl Bert4Rec {
                     self.cloze_loss(&mut step, &seqs, true, &mut r)
                 };
                 let grads = step.tape.backward(loss);
-                adam.step(&mut self.encoder, &step, &grads);
-                loss_sum += step.tape.value(loss).item() as f64;
+                let stats = adam.step_with_stats(&mut self.encoder, &step, &grads);
+                let batch_loss = step.tape.value(loss).item();
+                loss_sum += batch_loss as f64;
                 batches += 1;
                 clock.batch_done(chunk.len());
+                if session.observe_step(epoch, batch_loss, &stats) {
+                    aborted = true;
+                    break;
+                }
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 = opts.should_probe(epoch).then(|| {
+            let hr10 = (!aborted && opts.should_probe(epoch)).then(|| {
                 clock.probe(|| {
                     crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed)
                 })
@@ -156,7 +164,12 @@ impl Bert4Rec {
                     None => seqrec_obs::info!("[bert4rec] epoch {epoch}: loss {mean_loss:.4}"),
                 }
             }
-            report.epochs.push(clock.finish(epoch, mean_loss, hr10));
+            let mut log = clock.finish(epoch, mean_loss, hr10);
+            session.stamp_epoch(&mut log);
+            report.epochs.push(log);
+            if aborted {
+                break;
+            }
             if hr10.is_some_and(|h| stopper.update(h)) {
                 report.early_stopped = true;
                 break;
@@ -164,6 +177,7 @@ impl Bert4Rec {
         }
         report.best_valid_hr10 = stopper.best();
         report.finish_timing();
+        session.finish(&mut report);
         report
     }
 }

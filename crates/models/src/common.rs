@@ -6,7 +6,69 @@ use std::time::Instant;
 
 use seqrec_data::Split;
 use seqrec_eval::{evaluate, EvalOptions, EvalTarget, SequenceScorer};
+use seqrec_obs::ledger::RunLedger;
+use seqrec_tensor::dynamics::OptimStepStats;
 use serde::{Deserialize, Serialize};
+
+/// What a fit loop does when the loss, a gradient, an update or a
+/// parameter goes NaN/Inf.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AnomalyPolicy {
+    /// Record the anomaly (report + metrics + ledger) and keep training.
+    #[default]
+    Warn,
+    /// Stop training at the offending step; the report and run ledger
+    /// still complete, naming the step and parameter group.
+    Abort,
+}
+
+impl AnomalyPolicy {
+    /// Parses the CLI spelling (`warn` / `abort`).
+    ///
+    /// # Errors
+    /// Returns a message listing the accepted spellings.
+    pub fn parse(s: &str) -> Result<AnomalyPolicy, String> {
+        match s {
+            "warn" => Ok(AnomalyPolicy::Warn),
+            "abort" => Ok(AnomalyPolicy::Abort),
+            other => Err(format!("unknown anomaly policy `{other}` (expected warn|abort)")),
+        }
+    }
+}
+
+impl serde::Serialize for AnomalyPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                AnomalyPolicy::Warn => "warn",
+                AnomalyPolicy::Abort => "abort",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl serde::Deserialize for AnomalyPolicy {}
+
+/// Record of the first non-finite observation in a training run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AnomalyReport {
+    /// Optimiser step counter (1-based) at which the anomaly appeared.
+    pub step: u64,
+    /// 0-based epoch of the offending step.
+    pub epoch: usize,
+    /// What went non-finite first: `loss`, `gradient`, `update` or
+    /// `parameter`.
+    pub kind: String,
+    /// Offending parameter group (empty for a loss-only anomaly).
+    pub group: String,
+    /// Batch loss at the offending step.
+    pub loss: f32,
+    /// Global gradient norm at the offending step.
+    pub grad_norm: f64,
+    /// Global update:parameter ratio at the offending step.
+    pub update_ratio: f64,
+}
 
 /// Options shared by every trainable model in this crate.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -37,6 +99,13 @@ pub struct TrainOptions {
     /// 2 = chatty diagnostics. Lines go through `seqrec_obs` so they are
     /// also captured by any installed sink.
     pub verbosity: u8,
+    /// What to do when training dynamics go NaN/Inf (see [`AnomalyPolicy`]).
+    pub on_anomaly: AnomalyPolicy,
+    /// When set, the fit writes a run ledger (config.json, env.json,
+    /// metrics.jsonl, dynamics.jsonl, report.json) into this directory.
+    /// None (the default) writes nothing — tests and library callers stay
+    /// free of filesystem side effects.
+    pub run_dir: Option<String>,
 }
 
 impl Default for TrainOptions {
@@ -51,6 +120,8 @@ impl Default for TrainOptions {
             probe_every: 1,
             train_users: None,
             verbosity: 0,
+            on_anomaly: AnomalyPolicy::Warn,
+            run_dir: None,
         }
     }
 }
@@ -79,6 +150,14 @@ pub struct EpochLog {
     pub sequences: u64,
     /// Training throughput: `sequences / train_secs`.
     pub seqs_per_sec: f64,
+    /// Mean global gradient L2 norm over the epoch's optimiser steps
+    /// (0 when dynamics were not recorded).
+    pub grad_norm: f64,
+    /// Largest global gradient L2 norm seen this epoch (Inf if any step
+    /// went non-finite).
+    pub max_grad_norm: f64,
+    /// Mean global update:parameter ratio over the epoch's steps.
+    pub update_ratio: f64,
 }
 
 /// Result of a training run.
@@ -96,6 +175,11 @@ pub struct TrainReport {
     pub total_probe_secs: f64,
     /// Sequence throughput over the whole run (`Σ sequences / Σ train_secs`).
     pub mean_seqs_per_sec: f64,
+    /// First non-finite observation, if any (the run aborted here under
+    /// [`AnomalyPolicy::Abort`]).
+    pub anomaly: Option<AnomalyReport>,
+    /// How many optimiser steps observed a non-finite quantity.
+    pub anomalous_steps: u64,
 }
 
 impl TrainReport {
@@ -176,6 +260,236 @@ impl EpochClock {
             probe_secs: self.probe_secs,
             sequences: self.sequences,
             seqs_per_sec: if train_secs > 0.0 { self.sequences as f64 / train_secs } else { 0.0 },
+            grad_norm: 0.0,
+            max_grad_norm: 0.0,
+            update_ratio: 0.0,
+        }
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Per-run training-dynamics recorder shared by every fit loop: feeds the
+/// optimiser-step statistics into the `seqrec_obs` metric registry, watches
+/// for NaN/Inf (loss, gradients, updates, parameters) under the configured
+/// [`AnomalyPolicy`], and — when [`TrainOptions::run_dir`] is set — writes
+/// the run ledger (config/env/metrics/dynamics/report files).
+///
+/// Usage inside a fit loop:
+///
+/// ```text
+/// let mut session = FitSession::start("SASRec", &config_json, &opts);
+/// ...
+///   let stats = adam.step_with_stats(&mut model, &step, &grads);
+///   if session.observe_step(epoch, loss, &stats) { break 'training; }
+/// ...
+///   let mut log = clock.finish(epoch, mean_loss, hr10);
+///   session.stamp_epoch(&mut log);
+/// ...
+/// session.finish(&mut report);
+/// ```
+pub struct FitSession {
+    policy: AnomalyPolicy,
+    verbosity: u8,
+    ledger: Option<RunLedger>,
+    anomaly: Option<AnomalyReport>,
+    anomalous_steps: u64,
+    epoch_steps: u64,
+    grad_norm_sum: f64,
+    grad_norm_max: f64,
+    ratio_sum: f64,
+}
+
+impl FitSession {
+    /// Opens the session. `config_json` is the model's own hyperparameter
+    /// struct serialised to JSON; it lands in the ledger's `config.json`
+    /// under `"config"`, next to the full `TrainOptions` under
+    /// `"options"`.
+    ///
+    /// # Panics
+    /// Panics when [`TrainOptions::run_dir`] is set but the ledger
+    /// directory cannot be created — a run that silently loses its
+    /// provenance record is worse than a crash.
+    pub fn start(model: &str, config_json: &str, opts: &TrainOptions) -> FitSession {
+        FitSession::with_policy(
+            model,
+            config_json,
+            &serde_json::to_string(opts).expect("train options serialize"),
+            opts.on_anomaly,
+            opts.run_dir.as_deref(),
+            opts.verbosity,
+        )
+    }
+
+    /// Fully-explicit constructor for fit loops whose options struct is not
+    /// [`TrainOptions`] (CL4SRec pre-training): `options_json` is whatever
+    /// options struct the caller trains with, serialised to JSON.
+    ///
+    /// # Panics
+    /// Panics when `run_dir` is set but the ledger cannot be created.
+    pub fn with_policy(
+        model: &str,
+        config_json: &str,
+        options_json: &str,
+        policy: AnomalyPolicy,
+        run_dir: Option<&str>,
+        verbosity: u8,
+    ) -> FitSession {
+        let ledger = run_dir.map(|dir| {
+            let l = RunLedger::create(dir)
+                .unwrap_or_else(|e| panic!("cannot create run ledger at {dir}: {e}"));
+            let mut cfg = String::with_capacity(256 + config_json.len());
+            cfg.push_str("{\"model\":");
+            seqrec_obs::json::write_str(&mut cfg, model);
+            cfg.push_str(",\"config\":");
+            cfg.push_str(config_json);
+            cfg.push_str(",\"options\":");
+            cfg.push_str(options_json);
+            cfg.push('}');
+            l.write_config(&cfg);
+            l.write_env_snapshot();
+            l
+        });
+        FitSession {
+            policy,
+            verbosity,
+            ledger,
+            anomaly: None,
+            anomalous_steps: 0,
+            epoch_steps: 0,
+            grad_norm_sum: 0.0,
+            grad_norm_max: 0.0,
+            ratio_sum: 0.0,
+        }
+    }
+
+    /// Feeds one optimiser step (its batch loss and the stats collected by
+    /// `Adam::step_with_stats`). Returns `true` when the fit loop must
+    /// abort: a non-finite quantity appeared and the policy is
+    /// [`AnomalyPolicy::Abort`].
+    pub fn observe_step(&mut self, epoch: usize, loss: f32, stats: &OptimStepStats) -> bool {
+        use seqrec_obs::metrics;
+        metrics::OPTIM_STEPS.incr();
+        let grad_norm = stats.grad_norm();
+        let ratio = stats.update_ratio();
+        metrics::record_scaled(&metrics::GRAD_NORM_MILLI, grad_norm, 1e3);
+        metrics::record_scaled(&metrics::UPDATE_RATIO_MICRO, ratio, 1e6);
+
+        self.epoch_steps += 1;
+        if grad_norm.is_finite() {
+            self.grad_norm_sum += grad_norm;
+            if grad_norm > self.grad_norm_max {
+                self.grad_norm_max = grad_norm;
+            }
+        } else {
+            self.grad_norm_max = f64::INFINITY;
+        }
+        if ratio.is_finite() {
+            self.ratio_sum += ratio;
+        }
+
+        if let Some(l) = &self.ledger {
+            l.append_dynamics(&format!(
+                "{{\"step\":{},\"epoch\":{epoch},\"loss\":{},\"grad_norm\":{},\
+                 \"update_ratio\":{},\"lr\":{},\"clip_scale\":{}}}",
+                stats.step,
+                json_num(f64::from(loss)),
+                json_num(grad_norm),
+                json_num(ratio),
+                json_num(f64::from(stats.lr)),
+                json_num(f64::from(stats.clip_scale)),
+            ));
+        }
+
+        let first = if loss.is_finite() {
+            stats.first_nonfinite().map(|(g, k)| (g.to_string(), k))
+        } else {
+            Some((String::new(), "loss"))
+        };
+        if let Some((group, kind)) = first {
+            self.anomalous_steps += 1;
+            metrics::TRAIN_ANOMALIES.incr();
+            if self.anomaly.is_none() {
+                if self.verbosity >= 1 {
+                    seqrec_obs::info!(
+                        "training anomaly at step {} (epoch {epoch}): non-finite {kind}{}{} \
+                         (loss {loss}, grad_norm {grad_norm:.3e}); policy {:?}",
+                        stats.step,
+                        if group.is_empty() { "" } else { " in group " },
+                        group,
+                        self.policy,
+                    );
+                }
+                self.anomaly = Some(AnomalyReport {
+                    step: stats.step,
+                    epoch,
+                    kind: kind.to_string(),
+                    group,
+                    loss,
+                    grad_norm,
+                    update_ratio: ratio,
+                });
+            }
+            if self.policy == AnomalyPolicy::Abort {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fills the epoch log's dynamics fields from the steps observed since
+    /// the previous call, resets the accumulators, and appends the log to
+    /// the ledger's `metrics.jsonl`.
+    pub fn stamp_epoch(&mut self, log: &mut EpochLog) {
+        if self.epoch_steps > 0 {
+            let n = self.epoch_steps as f64;
+            log.grad_norm = self.grad_norm_sum / n;
+            log.max_grad_norm = self.grad_norm_max;
+            log.update_ratio = self.ratio_sum / n;
+        }
+        self.epoch_steps = 0;
+        self.grad_norm_sum = 0.0;
+        self.grad_norm_max = 0.0;
+        self.ratio_sum = 0.0;
+        if let Some(l) = &self.ledger {
+            l.append_metrics(&serde_json::to_string(log).expect("epoch log serializes"));
+        }
+    }
+
+    /// The first recorded anomaly, if any.
+    pub fn anomaly(&self) -> Option<&AnomalyReport> {
+        self.anomaly.as_ref()
+    }
+
+    /// How many optimiser steps observed a non-finite quantity so far.
+    pub fn anomalous_steps(&self) -> u64 {
+        self.anomalous_steps
+    }
+
+    /// Closes a session whose run reports through a type other than
+    /// [`TrainReport`] (CL4SRec pre-training): copy the anomaly state out
+    /// via [`FitSession::anomaly`]/[`FitSession::anomalous_steps`] first,
+    /// then hand the serialised report here for the ledger.
+    pub fn finish_json(self, report_json: &str) {
+        if let Some(l) = &self.ledger {
+            l.write_report(report_json);
+        }
+    }
+
+    /// Closes the session: moves the anomaly record into the report and
+    /// writes the ledger's final `report.json`. Call after
+    /// `report.finish_timing()` so the totals land in the ledger too.
+    pub fn finish(self, report: &mut TrainReport) {
+        report.anomaly = self.anomaly;
+        report.anomalous_steps = self.anomalous_steps;
+        if let Some(l) = &self.ledger {
+            l.write_report(&serde_json::to_string(report).expect("train report serializes"));
         }
     }
 }

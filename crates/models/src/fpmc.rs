@@ -20,7 +20,7 @@ use seqrec_tensor::optim::{Adam, AdamConfig};
 use seqrec_tensor::{linalg, Tensor, Var};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{EarlyStopper, EpochClock, TrainOptions, TrainReport};
+use crate::common::{EarlyStopper, EpochClock, FitSession, TrainOptions, TrainReport};
 
 /// FPMC hyper-parameters.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -128,6 +128,9 @@ impl Fpmc {
 
         let mut report = TrainReport::default();
         let mut stopper = EarlyStopper::new(opts.patience);
+        let config_json = serde_json::to_string(&self.cfg).expect("config serializes");
+        let mut session = FitSession::start("FPMC", &config_json, opts);
+        let mut aborted = false;
         for epoch in 0..opts.epochs {
             let _epoch_span = seqrec_obs::span!("epoch");
             let mut clock = EpochClock::start();
@@ -155,13 +158,18 @@ impl Fpmc {
                     self.bpr_loss(&mut step, &u_ids, &last_ids, &pos_ids, &neg_ids)
                 };
                 let grads = step.tape.backward(loss);
-                adam.step(self, &step, &grads);
-                loss_sum += step.tape.value(loss).item() as f64;
+                let stats = adam.step_with_stats(self, &step, &grads);
+                let batch_loss = step.tape.value(loss).item();
+                loss_sum += batch_loss as f64;
                 batches += 1;
                 clock.batch_done(chunk.len());
+                if session.observe_step(epoch, batch_loss, &stats) {
+                    aborted = true;
+                    break;
+                }
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
-            let hr10 = opts.should_probe(epoch).then(|| {
+            let hr10 = (!aborted && opts.should_probe(epoch)).then(|| {
                 clock.probe(|| {
                     crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed)
                 })
@@ -174,7 +182,12 @@ impl Fpmc {
                     None => seqrec_obs::info!("[fpmc] epoch {epoch}: loss {mean_loss:.4}"),
                 }
             }
-            report.epochs.push(clock.finish(epoch, mean_loss, hr10));
+            let mut log = clock.finish(epoch, mean_loss, hr10);
+            session.stamp_epoch(&mut log);
+            report.epochs.push(log);
+            if aborted {
+                break;
+            }
             if hr10.is_some_and(|h| stopper.update(h)) {
                 report.early_stopped = true;
                 break;
@@ -182,6 +195,7 @@ impl Fpmc {
         }
         report.best_valid_hr10 = stopper.best();
         report.finish_timing();
+        session.finish(&mut report);
         report
     }
 }

@@ -15,7 +15,7 @@ use seqrec_tensor::nn::{HasParams, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig, LrSchedule};
 use seqrec_tensor::{linalg, Tensor, Var};
 
-use crate::common::{EarlyStopper, EpochClock, TrainOptions, TrainReport};
+use crate::common::{EarlyStopper, EpochClock, FitSession, TrainOptions, TrainReport};
 use crate::encoder::{EncoderConfig, TransformerEncoder};
 
 /// The SASRec model: a [`TransformerEncoder`] plus the Eq. 15 training
@@ -118,6 +118,9 @@ impl SasRec {
 
         let mut report = TrainReport::default();
         let mut stopper = EarlyStopper::new(opts.patience);
+        let config_json = serde_json::to_string(self.encoder.config()).expect("config serializes");
+        let mut session = FitSession::start("SASRec", &config_json, opts);
+        let mut aborted = false;
         for epoch in 0..opts.epochs {
             let _epoch_span = seqrec_obs::span!("epoch");
             let mut clock = EpochClock::start();
@@ -133,14 +136,19 @@ impl SasRec {
                     self.next_item_loss(&mut step, &batch, true, &mut r)
                 };
                 let grads = step.tape.backward(loss);
-                adam.step(&mut self.encoder, &step, &grads);
-                loss_sum += step.tape.value(loss).item() as f64;
+                let stats = adam.step_with_stats(&mut self.encoder, &step, &grads);
+                let batch_loss = step.tape.value(loss).item();
+                loss_sum += batch_loss as f64;
                 batches += 1;
                 clock.batch_done(chunk.len());
+                if session.observe_step(epoch, batch_loss, &stats) {
+                    aborted = true;
+                    break;
+                }
             }
             let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
 
-            let hr10 = opts.should_probe(epoch).then(|| {
+            let hr10 = (!aborted && opts.should_probe(epoch)).then(|| {
                 clock.probe(|| {
                     crate::common::probe_valid_hr10(self, split, opts.valid_probe_users, opts.seed)
                 })
@@ -153,7 +161,12 @@ impl SasRec {
                     None => seqrec_obs::info!("[sasrec] epoch {epoch}: loss {mean_loss:.4}"),
                 }
             }
-            report.epochs.push(clock.finish(epoch, mean_loss, hr10));
+            let mut log = clock.finish(epoch, mean_loss, hr10);
+            session.stamp_epoch(&mut log);
+            report.epochs.push(log);
+            if aborted {
+                break;
+            }
             if hr10.is_some_and(|h| stopper.update(h)) {
                 report.early_stopped = true;
                 break;
@@ -161,6 +174,7 @@ impl SasRec {
         }
         report.best_valid_hr10 = stopper.best();
         report.finish_timing();
+        session.finish(&mut report);
         report
     }
 

@@ -1,0 +1,300 @@
+//! Bench-report comparison: the regression gate behind
+//! `scripts/bench_gate.sh`.
+//!
+//! Compares a freshly generated `BENCH_train.json` against the committed
+//! baseline row-by-row (keyed by `method` + `dataset`) with per-metric
+//! relative tolerances that only fire in the *worse* direction:
+//!
+//! * `secs_per_epoch` and `peak_tensor_mib` regress by **growing**;
+//! * `seqs_per_sec` and `gemm_gflops_per_sec` regress by **shrinking**.
+//!
+//! Improvements never fail the gate (they are reported as such), and
+//! zero-valued baselines (e.g. `gemm_gflops_per_sec` for the GEMM-free
+//! baselines) are skipped — a relative tolerance on zero is meaningless.
+
+use crate::json::{self, Value};
+
+/// Direction in which a metric gets worse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Worse {
+    /// Larger values are worse (time, memory).
+    Higher,
+    /// Smaller values are worse (throughput).
+    Lower,
+}
+
+/// One tracked metric: its JSON key, regression direction, and relative
+/// tolerance (`0.25` = allow 25% drift in the worse direction).
+#[derive(Clone, Debug)]
+pub struct MetricSpec {
+    /// JSON field name inside a bench row.
+    pub key: &'static str,
+    /// Which direction counts as a regression.
+    pub worse: Worse,
+    /// Allowed relative drift in the worse direction.
+    pub tolerance: f64,
+}
+
+/// The default gate: generous enough to absorb timer noise on a loaded
+/// machine, tight enough to catch a real kernel or allocator regression.
+pub fn default_specs() -> Vec<MetricSpec> {
+    vec![
+        MetricSpec { key: "secs_per_epoch", worse: Worse::Higher, tolerance: 0.30 },
+        MetricSpec { key: "seqs_per_sec", worse: Worse::Lower, tolerance: 0.30 },
+        MetricSpec { key: "gemm_gflops_per_sec", worse: Worse::Lower, tolerance: 0.30 },
+        MetricSpec { key: "peak_tensor_mib", worse: Worse::Higher, tolerance: 0.10 },
+    ]
+}
+
+/// The same metric set with every tolerance scaled by `factor` — the smoke
+/// mode used in CI, where a tiny run on a shared machine needs loose gates.
+pub fn scaled_specs(factor: f64) -> Vec<MetricSpec> {
+    let mut specs = default_specs();
+    for s in &mut specs {
+        s.tolerance *= factor;
+    }
+    specs
+}
+
+/// One metric comparison on one row.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// `method/dataset` row key.
+    pub row: String,
+    /// Metric key.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub base: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// Signed relative change `(fresh - base) / base`.
+    pub rel_change: f64,
+    /// Whether the change exceeds the tolerance in the worse direction.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing two bench reports.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Every metric comparison made.
+    pub deltas: Vec<Delta>,
+    /// Row keys present in the baseline but missing from the fresh report.
+    pub missing_rows: Vec<String>,
+}
+
+impl DiffReport {
+    /// All regressions (tolerance exceeded in the worse direction).
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// `true` when the gate should fail: any regression or missing row.
+    pub fn failed(&self) -> bool {
+        !self.missing_rows.is_empty() || self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Human-readable gate summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:<22} {:>14} {:>14} {:>9}  status\n",
+            "row", "metric", "baseline", "fresh", "change"
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<28} {:<22} {:>14.4} {:>14.4} {:>+8.1}%  {}\n",
+                d.row,
+                d.metric,
+                d.base,
+                d.fresh,
+                d.rel_change * 100.0,
+                if d.regressed { "REGRESSED" } else { "ok" },
+            ));
+        }
+        for row in &self.missing_rows {
+            out.push_str(&format!("{row:<28} MISSING from fresh report\n"));
+        }
+        let n_reg = self.regressions().len();
+        if self.failed() {
+            out.push_str(&format!(
+                "GATE FAILED: {n_reg} regression(s), {} missing row(s)\n",
+                self.missing_rows.len()
+            ));
+        } else {
+            out.push_str(&format!("GATE OK: {} comparisons, no regressions\n", self.deltas.len()));
+        }
+        out
+    }
+}
+
+fn rows_of(report: &Value) -> Result<Vec<(String, &Value)>, String> {
+    let rows = match report.get("rows") {
+        Some(Value::Arr(items)) => items,
+        _ => return Err("bench report has no \"rows\" array".to_string()),
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let method = row
+            .get("method")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("row {i}: missing \"method\""))?;
+        let dataset = row
+            .get("dataset")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("row {i}: missing \"dataset\""))?;
+        out.push((format!("{method}/{dataset}"), row));
+    }
+    Ok(out)
+}
+
+/// Compares a fresh bench report against a baseline under the given metric
+/// specs. Rows are matched by `method` + `dataset`; extra rows in the fresh
+/// report are ignored (new benchmarks are not regressions).
+///
+/// # Errors
+/// Returns a message when either document is not valid JSON or lacks the
+/// bench-report shape.
+pub fn diff(
+    baseline_text: &str,
+    fresh_text: &str,
+    specs: &[MetricSpec],
+) -> Result<DiffReport, String> {
+    let baseline =
+        json::parse(baseline_text).map_err(|e| format!("baseline: invalid JSON: {e}"))?;
+    let fresh = json::parse(fresh_text).map_err(|e| format!("fresh report: invalid JSON: {e}"))?;
+    let base_rows = rows_of(&baseline).map_err(|e| format!("baseline: {e}"))?;
+    let fresh_rows = rows_of(&fresh).map_err(|e| format!("fresh report: {e}"))?;
+
+    let mut report = DiffReport::default();
+    for (key, base_row) in &base_rows {
+        let Some((_, fresh_row)) = fresh_rows.iter().find(|(k, _)| k == key) else {
+            report.missing_rows.push(key.clone());
+            continue;
+        };
+        for spec in specs {
+            let (Some(base), Some(fresh)) = (
+                base_row.get(spec.key).and_then(Value::as_f64),
+                fresh_row.get(spec.key).and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            if base == 0.0 {
+                continue;
+            }
+            let rel_change = (fresh - base) / base;
+            let regressed = match spec.worse {
+                Worse::Higher => rel_change > spec.tolerance,
+                Worse::Lower => rel_change < -spec.tolerance,
+            };
+            report.deltas.push(Delta {
+                row: key.clone(),
+                metric: spec.key,
+                base,
+                fresh,
+                rel_change,
+                regressed,
+            });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &str) -> String {
+        format!("{{\"rows\":[{rows}]}}")
+    }
+
+    fn row(method: &str, spe: f64, sps: f64, gflops: f64, mib: f64) -> String {
+        format!(
+            "{{\"method\":\"{method}\",\"dataset\":\"beauty\",\"secs_per_epoch\":{spe},\
+             \"seqs_per_sec\":{sps},\"gemm_gflops_per_sec\":{gflops},\"peak_tensor_mib\":{mib}}}"
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let text = report(&row("SASRec", 1.0, 100.0, 20.0, 50.0));
+        let d = diff(&text, &text, &default_specs()).unwrap();
+        assert!(!d.failed(), "{}", d.render());
+        assert_eq!(d.deltas.len(), 4);
+    }
+
+    #[test]
+    fn slower_epoch_beyond_tolerance_regresses() {
+        let base = report(&row("SASRec", 1.0, 100.0, 20.0, 50.0));
+        let fresh = report(&row("SASRec", 1.5, 100.0, 20.0, 50.0));
+        let d = diff(&base, &fresh, &default_specs()).unwrap();
+        assert!(d.failed());
+        let regs = d.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "secs_per_epoch");
+    }
+
+    #[test]
+    fn throughput_drop_regresses_but_gain_does_not() {
+        let base = report(&row("SASRec", 1.0, 100.0, 20.0, 50.0));
+        let slower = report(&row("SASRec", 1.0, 60.0, 20.0, 50.0));
+        assert!(diff(&base, &slower, &default_specs()).unwrap().failed());
+        let faster = report(&row("SASRec", 1.0, 300.0, 80.0, 50.0));
+        assert!(!diff(&base, &faster, &default_specs()).unwrap().failed());
+    }
+
+    #[test]
+    fn memory_growth_uses_its_own_tighter_tolerance() {
+        let base = report(&row("SASRec", 1.0, 100.0, 20.0, 100.0));
+        let within = report(&row("SASRec", 1.0, 100.0, 20.0, 108.0));
+        assert!(!diff(&base, &within, &default_specs()).unwrap().failed());
+        let beyond = report(&row("SASRec", 1.0, 100.0, 20.0, 115.0));
+        assert!(diff(&base, &beyond, &default_specs()).unwrap().failed());
+    }
+
+    #[test]
+    fn zero_baseline_metrics_are_skipped() {
+        let base = report(&row("BPR-MF", 1.0, 100.0, 0.0, 50.0));
+        let fresh = report(&row("BPR-MF", 1.0, 100.0, 0.0, 50.0));
+        let d = diff(&base, &fresh, &default_specs()).unwrap();
+        assert!(d.deltas.iter().all(|x| x.metric != "gemm_gflops_per_sec"));
+        assert!(!d.failed());
+    }
+
+    #[test]
+    fn missing_row_fails_the_gate() {
+        let base = report(&format!(
+            "{},{}",
+            row("SASRec", 1.0, 100.0, 20.0, 50.0),
+            row("GRU4Rec", 2.0, 50.0, 10.0, 60.0)
+        ));
+        let fresh = report(&row("SASRec", 1.0, 100.0, 20.0, 50.0));
+        let d = diff(&base, &fresh, &default_specs()).unwrap();
+        assert!(d.failed());
+        assert_eq!(d.missing_rows, vec!["GRU4Rec/beauty".to_string()]);
+    }
+
+    #[test]
+    fn extra_fresh_rows_are_not_regressions() {
+        let base = report(&row("SASRec", 1.0, 100.0, 20.0, 50.0));
+        let fresh = report(&format!(
+            "{},{}",
+            row("SASRec", 1.0, 100.0, 20.0, 50.0),
+            row("NewModel", 9.0, 1.0, 1.0, 500.0)
+        ));
+        assert!(!diff(&base, &fresh, &default_specs()).unwrap().failed());
+    }
+
+    #[test]
+    fn scaled_specs_loosen_every_tolerance() {
+        let base = report(&row("SASRec", 1.0, 100.0, 20.0, 50.0));
+        let fresh = report(&row("SASRec", 1.5, 100.0, 20.0, 50.0));
+        assert!(diff(&base, &fresh, &default_specs()).unwrap().failed());
+        assert!(!diff(&base, &fresh, &scaled_specs(3.0)).unwrap().failed());
+    }
+
+    #[test]
+    fn malformed_reports_error_with_context() {
+        assert!(diff("{oops", "{}", &default_specs()).unwrap_err().contains("baseline"));
+        assert!(diff("{}", "[]", &default_specs()).unwrap_err().contains("rows"));
+    }
+}

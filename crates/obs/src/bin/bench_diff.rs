@@ -1,0 +1,68 @@
+//! `bench-diff`: compares a fresh `BENCH_train.json` against the committed
+//! baseline and exits non-zero when any tracked metric regresses beyond
+//! its tolerance. This is the core of `scripts/bench_gate.sh`.
+//!
+//! ```text
+//! bench-diff BASELINE FRESH [--tolerance-scale X]
+//! ```
+//!
+//! Tracked metrics and worse-directions: `secs_per_epoch` (up),
+//! `seqs_per_sec` (down), `gemm_gflops_per_sec` (down),
+//! `peak_tensor_mib` (up). Improvements never fail the gate.
+
+use std::process::ExitCode;
+
+use seqrec_obs::benchdiff::{diff, scaled_specs};
+
+const USAGE: &str = "\
+usage: bench-diff BASELINE FRESH [--tolerance-scale X]
+  BASELINE            committed bench report (e.g. BENCH_train.json)
+  FRESH               freshly generated bench report to gate
+  --tolerance-scale X multiply every tolerance by X (CI smoke mode uses a
+                      loose scale to absorb tiny-run timer noise)";
+
+fn run(argv: &[String]) -> Result<bool, String> {
+    let mut paths = Vec::new();
+    let mut scale = 1.0f64;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--tolerance-scale" => {
+                let v = it.next().ok_or("--tolerance-scale needs a value")?;
+                scale = v.parse().map_err(|_| format!("invalid --tolerance-scale `{v}`"))?;
+                if !(scale.is_finite() && scale > 0.0) {
+                    return Err(format!("--tolerance-scale must be positive, got `{v}`"));
+                }
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let [baseline, fresh] = paths.as_slice() else {
+        return Err("expected exactly BASELINE and FRESH paths".to_string());
+    };
+    let base_text =
+        std::fs::read_to_string(baseline).map_err(|e| format!("cannot read {baseline}: {e}"))?;
+    let fresh_text =
+        std::fs::read_to_string(fresh).map_err(|e| format!("cannot read {fresh}: {e}"))?;
+    let report = diff(&base_text, &fresh_text, &scaled_specs(scale))?;
+    print!("{}", report.render());
+    Ok(report.failed())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(e) if e.is_empty() => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench-diff: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -45,8 +45,11 @@
 
 #![warn(missing_docs)]
 
+pub mod benchdiff;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod span;
 
@@ -113,6 +116,21 @@ macro_rules! debug {
         $crate::log($crate::LEVEL_DEBUG, ::core::format_args!($($arg)*))
     };
 }
+
+/// The `SEQREC_OBS` directive grammar, in full, for error messages and
+/// `SEQREC_OBS=help`.
+pub const OBS_GRAMMAR: &str = "\
+SEQREC_OBS is a comma-separated list of directives:
+  console=LEVEL   console verbosity: silent|off|0, info|1, debug|2
+  jsonl=PATH      stream events as one JSON object per line to PATH
+  chrome=PATH     write a Chrome trace-event JSON array to PATH
+                  (open in chrome://tracing or https://ui.perfetto.dev)
+  detail          also emit per-kernel-call spans (large traces)
+  help            print this grammar and exit
+examples:
+  SEQREC_OBS=console=debug
+  SEQREC_OBS=jsonl=run.jsonl,detail
+  SEQREC_OBS=chrome=trace.json,console=silent";
 
 /// One parsed `SEQREC_OBS` configuration.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -188,13 +206,21 @@ impl Drop for ObsGuard {
 /// them on drop. With the variable unset or empty this is free: no sink is
 /// installed and every span compiles down to one relaxed load.
 ///
+/// `SEQREC_OBS=help` (or a spec containing a `help` directive) prints the
+/// full grammar to stderr and exits the process cleanly with status 0.
+///
 /// # Panics
-/// Panics on a malformed `SEQREC_OBS` value or an unwritable sink path —
-/// a profiling run that silently records nothing is worse than a crash.
+/// Panics on a malformed `SEQREC_OBS` value (the panic message includes the
+/// full directive grammar) or an unwritable sink path — a profiling run
+/// that silently records nothing is worse than a crash.
 pub fn init_from_env() -> ObsGuard {
     let spec = std::env::var("SEQREC_OBS").unwrap_or_default();
+    if spec.split(',').any(|t| t.trim() == "help") {
+        eprintln!("{OBS_GRAMMAR}");
+        std::process::exit(0);
+    }
     let cfg = ObsConfig::parse(&spec)
-        .unwrap_or_else(|e| panic!("invalid SEQREC_OBS value {spec:?}: {e}"));
+        .unwrap_or_else(|e| panic!("invalid SEQREC_OBS value {spec:?}: {e}\n{OBS_GRAMMAR}"));
     init_with(&cfg)
 }
 

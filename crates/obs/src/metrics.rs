@@ -207,6 +207,35 @@ pub static TRAIN_BATCH_US: Histogram = Histogram::new(
 );
 /// Users scored by the evaluator.
 pub static EVAL_USERS: Counter = Counter::new("eval.users");
+/// Optimiser updates applied (across all fit loops in the process).
+pub static OPTIM_STEPS: Counter = Counter::new("optim.steps");
+/// NaN/Inf anomalies observed on loss or gradients by the training-dynamics
+/// sentinels.
+pub static TRAIN_ANOMALIES: Counter = Counter::new("train.anomalies");
+/// Distribution of the global gradient L2 norm per optimiser step, in
+/// milli-units (a reading of 1_000 = norm 1.0). Non-finite norms land in
+/// the overflow bucket.
+pub static GRAD_NORM_MILLI: Histogram = Histogram::new(
+    "train.grad_norm_milli",
+    &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+);
+/// Distribution of the global update:parameter ratio per optimiser step, in
+/// micro-units (a reading of 1_000 = ratio 1e-3, the healthy Adam regime).
+pub static UPDATE_RATIO_MICRO: Histogram = Histogram::new(
+    "train.update_ratio_micro",
+    &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+);
+
+/// Records a non-negative float into a scaled histogram: `value * scale`,
+/// saturating, with NaN/Inf mapped to `u64::MAX` (the overflow bucket).
+pub fn record_scaled(h: &Histogram, value: f64, scale: f64) {
+    let scaled = value * scale;
+    if scaled.is_finite() && scaled >= 0.0 {
+        h.record(scaled.min(u64::MAX as f64) as u64);
+    } else {
+        h.record(u64::MAX);
+    }
+}
 
 /// One metric's value at snapshot time.
 pub enum MetricValue {
@@ -238,7 +267,7 @@ pub struct MetricReading {
     pub value: MetricValue,
 }
 
-fn counters() -> [&'static Counter; 8] {
+fn counters() -> [&'static Counter; 10] {
     [
         &GEMM_FLOPS,
         &GEMM_CALLS,
@@ -248,6 +277,8 @@ fn counters() -> [&'static Counter; 8] {
         &TRAIN_BATCHES,
         &TRAIN_SEQUENCES,
         &EVAL_USERS,
+        &OPTIM_STEPS,
+        &TRAIN_ANOMALIES,
     ]
 }
 
@@ -255,8 +286,8 @@ fn gauges() -> [&'static Gauge; 1] {
     [&TENSOR_LIVE_BYTES]
 }
 
-fn histograms() -> [&'static Histogram; 2] {
-    [&GEMM_FLOPS_PER_CALL, &TRAIN_BATCH_US]
+fn histograms() -> [&'static Histogram; 4] {
+    [&GEMM_FLOPS_PER_CALL, &TRAIN_BATCH_US, &GRAD_NORM_MILLI, &UPDATE_RATIO_MICRO]
 }
 
 /// Reads every registered metric.
@@ -381,6 +412,20 @@ mod tests {
         assert_eq!(H.counts(), vec![2, 2]);
         assert_eq!(H.overflow(), 1);
         assert_eq!(H.total(), 5);
+    }
+
+    #[test]
+    fn record_scaled_maps_nonfinite_to_overflow() {
+        static H: Histogram = Histogram::new("t", &[10, 1_000]);
+        H.reset();
+        record_scaled(&H, 0.005, 1_000.0); // 5 milli → bucket 0
+        record_scaled(&H, 0.5, 1_000.0); // 500 milli → bucket 1
+        record_scaled(&H, f64::NAN, 1_000.0);
+        record_scaled(&H, f64::INFINITY, 1_000.0);
+        record_scaled(&H, -1.0, 1_000.0); // negative norms cannot happen; overflow
+        assert_eq!(H.counts(), vec![1, 1]);
+        assert_eq!(H.overflow(), 3);
+        H.reset();
     }
 
     #[test]

@@ -83,9 +83,38 @@ static DETAIL: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static THREAD_NAMES: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
 
 thread_local! {
-    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static TID: u32 = {
+        let t = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        // Record the OS thread's name once, so trace viewers can label the
+        // lane ("main", rayon worker names, ...) instead of showing a bare
+        // number.
+        let label = std::thread::current()
+            .name()
+            .map_or_else(|| format!("thread-{t}"), str::to_string);
+        THREAD_NAMES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((t, label));
+        t
+    };
+}
+
+/// The human label registered for a telemetry thread id: the OS thread
+/// name when it had one, otherwise `thread-<tid>`. Tid 0 is the synthetic
+/// metrics lane.
+pub fn thread_label(tid: u32) -> String {
+    if tid == 0 {
+        return "metrics".to_string();
+    }
+    THREAD_NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .find(|(t, _)| *t == tid)
+        .map_or_else(|| format!("thread-{tid}"), |(_, name)| name.clone())
 }
 
 /// True when a sink is installed. One relaxed load — this is the gate
@@ -315,6 +344,7 @@ struct ChromeState {
     w: Box<dyn Write + Send>,
     first: bool,
     finished: bool,
+    named_tids: Vec<u32>,
 }
 
 /// Writes the Chrome trace-event format (a JSON array of `B`/`E` duration
@@ -338,8 +368,14 @@ impl ChromeTraceSink {
 
     /// Writes the trace to an arbitrary writer.
     pub fn to_writer(w: Box<dyn Write + Send>) -> Self {
-        let sink =
-            ChromeTraceSink { state: Mutex::new(ChromeState { w, first: true, finished: false }) };
+        let sink = ChromeTraceSink {
+            state: Mutex::new(ChromeState {
+                w,
+                first: true,
+                finished: false,
+                named_tids: Vec::new(),
+            }),
+        };
         {
             let mut st = sink.lock_state();
             let _ = st.w.write_all(b"[");
@@ -368,10 +404,38 @@ impl ChromeTraceSink {
         }
         let _ = st.w.write_all(obj.as_bytes());
     }
+
+    /// Emits a `thread_name` metadata event the first time a tid appears,
+    /// so trace viewers label each lane with the OS thread's name. Events
+    /// for one tid always arrive from the thread that owns it, so the
+    /// check-then-write sequence cannot duplicate a metadata line.
+    fn ensure_thread_named(&self, tid: u32) {
+        {
+            let mut st = self.lock_state();
+            if st.finished || st.named_tids.contains(&tid) {
+                return;
+            }
+            st.named_tids.push(tid);
+        }
+        let mut obj = String::with_capacity(96);
+        obj.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":"
+        ));
+        json::write_str(&mut obj, &thread_label(tid));
+        obj.push_str("}}");
+        self.write_obj(&obj);
+    }
 }
 
 impl Sink for ChromeTraceSink {
     fn event(&self, ev: &Event<'_>) {
+        let ev_tid = match ev {
+            Event::SpanBegin { tid, .. } | Event::SpanEnd { tid, .. } | Event::Log { tid, .. } => {
+                *tid
+            }
+            Event::Counter { .. } => 0,
+        };
+        self.ensure_thread_named(ev_tid);
         let mut s = String::with_capacity(96);
         match ev {
             Event::SpanBegin { name, tid, ts_us, .. } => {

@@ -200,3 +200,48 @@ fn detail_spans_only_fire_when_requested() {
     });
     assert!(with.contains("gemm.nn"));
 }
+
+#[test]
+fn chrome_trace_names_the_process_and_every_thread_lane() {
+    let _g = lock();
+    seqrec_obs::metrics::reset_all();
+    let text = capture_chrome(|| {
+        let _s = seqrec_obs::span!("work");
+        seqrec_obs::metrics::GEMM_FLOPS.add(7);
+        seqrec_obs::metrics::emit_snapshot();
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("chrome trace not JSON: {e}\n{text}"));
+    let events = doc.as_arr().expect("top-level array");
+
+    // The very first event names the process.
+    let first = &events[0];
+    assert_eq!(first.get("ph").and_then(Value::as_str), Some("M"));
+    assert_eq!(first.get("name").and_then(Value::as_str), Some("process_name"));
+    assert_eq!(
+        first.get("args").and_then(|a| a.get("name")).and_then(Value::as_str),
+        Some("seqrec")
+    );
+
+    // Each tid gets exactly one thread_name metadata event, and it lands
+    // before the first real event on that tid (viewers apply it lazily,
+    // but emitting it first keeps the invariant checkable).
+    let mut named: Vec<f64> = Vec::new();
+    for ev in events {
+        let tid = ev.get("tid").and_then(Value::as_f64).expect("tid");
+        let ph = ev.get("ph").and_then(Value::as_str).expect("ph");
+        let name = ev.get("name").and_then(Value::as_str).expect("name");
+        if ph == "M" && name == "thread_name" {
+            assert!(!named.contains(&tid), "duplicate thread_name for tid {tid}");
+            let label = ev.get("args").and_then(|a| a.get("name")).and_then(Value::as_str);
+            assert!(label.is_some_and(|l| !l.is_empty()), "empty thread label: {ev:?}");
+            named.push(tid);
+        } else if ph != "M" {
+            assert!(named.contains(&tid), "event on tid {tid} before its thread_name: {ev:?}");
+        }
+    }
+    // Both lanes appeared: the span's worker thread and the metrics lane
+    // (counters are pinned to tid 0, labelled "metrics").
+    assert!(named.len() >= 2, "expected worker + metrics lanes, got {named:?}");
+    assert!(named.contains(&0.0), "metrics lane (tid 0) never named");
+    seqrec_obs::metrics::reset_all();
+}

@@ -1,0 +1,204 @@
+//! Training-dynamics statistics collected while the optimiser applies an
+//! update: per-parameter-group gradient L2 norms, update norms, and
+//! post-update parameter norms, all accumulated in f64 off to the side of
+//! the (unchanged) f32 update arithmetic.
+//!
+//! The stats are the raw material for the anomaly sentinels in
+//! `seqrec-models` (NaN/Inf detection with a warn/abort policy) and for the
+//! per-run dynamics traces in the run ledger. Everything here is read-only
+//! with respect to the training trajectory: collecting stats never changes
+//! a single bit of any parameter, moment, or gradient.
+
+/// The parameter-group label of a parameter name: everything up to the last
+/// `.`-separated segment, so `"encoder.attn0.wq"` and `"encoder.attn0.wk"`
+/// share the group `"encoder.attn0"`. Single-segment names are their own
+/// group.
+pub fn group_of(param_name: &str) -> &str {
+    param_name.rsplit_once('.').map_or(param_name, |(head, _)| head)
+}
+
+/// Accumulated squared norms for one parameter group over one optimiser
+/// step.
+#[derive(Clone, Debug, Default)]
+pub struct GroupStat {
+    /// Group label (see [`group_of`]).
+    pub group: String,
+    /// Scalar parameters in the group that received gradients this step.
+    pub params: usize,
+    /// Σ g² over the group's raw (pre-clip) gradients.
+    pub grad_sq: f64,
+    /// Σ δ² over the applied updates (`w_new - w_old`, including clipping,
+    /// weight decay and the learning rate).
+    pub update_sq: f64,
+    /// Σ w² over the post-update parameter values.
+    pub param_sq: f64,
+}
+
+impl GroupStat {
+    /// Gradient L2 norm of the group.
+    pub fn grad_norm(&self) -> f64 {
+        self.grad_sq.sqrt()
+    }
+
+    /// L2 norm of the applied update.
+    pub fn update_norm(&self) -> f64 {
+        self.update_sq.sqrt()
+    }
+
+    /// L2 norm of the post-update parameters.
+    pub fn param_norm(&self) -> f64 {
+        self.param_sq.sqrt()
+    }
+
+    /// The update:parameter ratio `‖δ‖ / ‖w‖` (a healthy Adam step sits
+    /// around 1e-3; ≫1e-1 signals a blow-up, ≪1e-5 a dead group). Zero when
+    /// the group has no mass.
+    pub fn update_ratio(&self) -> f64 {
+        if self.param_sq > 0.0 {
+            self.update_norm() / self.param_norm()
+        } else {
+            0.0
+        }
+    }
+
+    /// Which quantity (if any) went non-finite, checked in causal order:
+    /// a NaN/Inf gradient poisons the update, which poisons the parameters.
+    pub fn nonfinite_kind(&self) -> Option<&'static str> {
+        if !self.grad_sq.is_finite() {
+            Some("gradient")
+        } else if !self.update_sq.is_finite() {
+            Some("update")
+        } else if !self.param_sq.is_finite() {
+            Some("parameter")
+        } else {
+            None
+        }
+    }
+}
+
+/// Everything an optimiser step reveals about training health.
+#[derive(Clone, Debug, Default)]
+pub struct OptimStepStats {
+    /// The optimiser's step counter *after* this update (1-based).
+    pub step: u64,
+    /// Learning rate used by this step (after the schedule).
+    pub lr: f32,
+    /// Global-norm clip factor applied to every gradient (1.0 = no clip).
+    pub clip_scale: f32,
+    /// Per-group accumulations, in parameter visit order. Consecutive
+    /// parameters sharing a group merge into one entry; a group revisited
+    /// non-contiguously (unusual — modules visit their parameters together)
+    /// produces separate entries.
+    pub groups: Vec<GroupStat>,
+}
+
+impl OptimStepStats {
+    /// Global gradient L2 norm across every group (pre-clip).
+    pub fn grad_norm(&self) -> f64 {
+        self.groups.iter().map(|g| g.grad_sq).sum::<f64>().sqrt()
+    }
+
+    /// Global L2 norm of the applied update.
+    pub fn update_norm(&self) -> f64 {
+        self.groups.iter().map(|g| g.update_sq).sum::<f64>().sqrt()
+    }
+
+    /// Global update:parameter ratio.
+    pub fn update_ratio(&self) -> f64 {
+        let psq: f64 = self.groups.iter().map(|g| g.param_sq).sum();
+        if psq > 0.0 {
+            self.update_norm() / psq.sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// The first group whose gradient/update/parameters went NaN or Inf,
+    /// with the offending quantity — `None` on a healthy step.
+    pub fn first_nonfinite(&self) -> Option<(&str, &'static str)> {
+        self.groups.iter().find_map(|g| g.nonfinite_kind().map(|k| (g.group.as_str(), k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_of_strips_the_leaf_segment() {
+        assert_eq!(group_of("encoder.attn0.wq"), "encoder.attn0");
+        assert_eq!(group_of("cl4srec.proj.b"), "cl4srec.proj");
+        assert_eq!(group_of("bias"), "bias");
+    }
+
+    #[test]
+    fn norms_and_ratio() {
+        let g = GroupStat {
+            group: "g".into(),
+            params: 2,
+            grad_sq: 9.0,
+            update_sq: 4.0,
+            param_sq: 400.0,
+        };
+        assert_eq!(g.grad_norm(), 3.0);
+        assert_eq!(g.update_norm(), 2.0);
+        assert_eq!(g.update_ratio(), 0.1);
+        assert_eq!(g.nonfinite_kind(), None);
+    }
+
+    #[test]
+    fn empty_group_has_zero_ratio_not_nan() {
+        let g = GroupStat::default();
+        assert_eq!(g.update_ratio(), 0.0);
+    }
+
+    #[test]
+    fn nonfinite_detection_reports_causal_order() {
+        let mut g = GroupStat { group: "g".into(), ..Default::default() };
+        g.update_sq = f64::INFINITY;
+        assert_eq!(g.nonfinite_kind(), Some("update"));
+        g.grad_sq = f64::NAN;
+        assert_eq!(g.nonfinite_kind(), Some("gradient"));
+    }
+
+    #[test]
+    fn step_stats_aggregate_across_groups() {
+        let stats = OptimStepStats {
+            step: 7,
+            lr: 1e-3,
+            clip_scale: 1.0,
+            groups: vec![
+                GroupStat {
+                    group: "a".into(),
+                    params: 1,
+                    grad_sq: 9.0,
+                    update_sq: 1.0,
+                    param_sq: 50.0,
+                },
+                GroupStat {
+                    group: "b".into(),
+                    params: 1,
+                    grad_sq: 16.0,
+                    update_sq: 3.0,
+                    param_sq: 50.0,
+                },
+            ],
+        };
+        assert_eq!(stats.grad_norm(), 5.0);
+        assert_eq!(stats.update_norm(), 2.0);
+        assert_eq!(stats.update_ratio(), 0.2);
+        assert_eq!(stats.first_nonfinite(), None);
+    }
+
+    #[test]
+    fn first_nonfinite_names_the_earliest_group() {
+        let stats = OptimStepStats {
+            groups: vec![
+                GroupStat { group: "healthy".into(), param_sq: 1.0, ..Default::default() },
+                GroupStat { group: "sick".into(), grad_sq: f64::NAN, ..Default::default() },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.first_nonfinite(), Some(("sick", "gradient")));
+    }
+}

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dynamics;
 pub mod gradcheck;
 pub mod init;
 pub mod linalg;
@@ -53,5 +54,5 @@ mod tape;
 mod tensor;
 
 pub use shape::Shape;
-pub use tape::{Gradients, Tape, Var};
+pub use tape::{set_finite_tripwire, Gradients, Tape, Var};
 pub use tensor::Tensor;

@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 
+use crate::dynamics::{group_of, GroupStat, OptimStepStats};
 use crate::nn::param::{HasParams, Param, Step};
 use crate::tape::Gradients;
 use crate::tensor::Tensor;
@@ -110,6 +111,31 @@ impl Adam {
     /// gradient on `step`. Parameters without gradients (unused this step)
     /// are left untouched and their moments are not advanced.
     pub fn step<M: HasParams + ?Sized>(&mut self, model: &mut M, step: &Step, grads: &Gradients) {
+        self.step_inner(model, step, grads, None);
+    }
+
+    /// [`Adam::step`] plus training-dynamics collection: per-parameter-group
+    /// gradient/update/parameter L2 norms accumulated in f64 beside the
+    /// unchanged f32 update arithmetic. The applied update is bit-identical
+    /// to [`Adam::step`] — the golden-fixture suite pins this.
+    pub fn step_with_stats<M: HasParams + ?Sized>(
+        &mut self,
+        model: &mut M,
+        step: &Step,
+        grads: &Gradients,
+    ) -> OptimStepStats {
+        let mut stats = OptimStepStats::default();
+        self.step_inner(model, step, grads, Some(&mut stats));
+        stats
+    }
+
+    fn step_inner<M: HasParams + ?Sized>(
+        &mut self,
+        model: &mut M,
+        step: &Step,
+        grads: &Gradients,
+        mut stats: Option<&mut OptimStepStats>,
+    ) {
         let _span = seqrec_obs::span!("optim");
         let clip_scale = self.clip_scale(model, step, grads);
         let lr = self.current_lr();
@@ -118,6 +144,11 @@ impl Adam {
         let bc2 = 1.0 - self.cfg.beta2.powi(self.t as i32);
         let cfg = self.cfg.clone();
         let state = &mut self.state;
+        if let Some(s) = stats.as_deref_mut() {
+            s.step = self.t;
+            s.lr = lr;
+            s.clip_scale = clip_scale;
+        }
 
         model.visit_mut(&mut |p: &mut Param| {
             let Some(grad) = p.grad(step, grads) else { return };
@@ -132,12 +163,23 @@ impl Adam {
                 "parameter {} changed shape between steps",
                 p.name()
             );
+            let group = stats.as_deref_mut().map(|s| {
+                let label = group_of(p.name());
+                match s.groups.last_mut() {
+                    Some(last) if last.group == label => {}
+                    _ => s
+                        .groups
+                        .push(GroupStat { group: label.to_string(), ..GroupStat::default() }),
+                }
+                s.groups.last_mut().expect("group pushed above")
+            });
+            let (mut grad_sq, mut update_sq, mut param_sq) = (0.0f64, 0.0f64, 0.0f64);
             let value = p.value_mut();
             let (md, vd) = (entry.m.data_mut(), entry.v.data_mut());
-            for (((w, &g), m), v) in
+            for (((w, &g0), m), v) in
                 value.data_mut().iter_mut().zip(grad.data()).zip(md.iter_mut()).zip(vd.iter_mut())
             {
-                let mut g = g * clip_scale;
+                let mut g = g0 * clip_scale;
                 if cfg.weight_decay > 0.0 {
                     g += cfg.weight_decay * *w;
                 }
@@ -145,7 +187,17 @@ impl Adam {
                 *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
                 let m_hat = *m / bc1;
                 let v_hat = *v / bc2;
-                *w -= lr * m_hat / (v_hat.sqrt() + cfg.eps);
+                let delta = lr * m_hat / (v_hat.sqrt() + cfg.eps);
+                *w -= delta;
+                grad_sq += f64::from(g0) * f64::from(g0);
+                update_sq += f64::from(delta) * f64::from(delta);
+                param_sq += f64::from(*w) * f64::from(*w);
+            }
+            if let Some(gstat) = group {
+                gstat.params += value.len();
+                gstat.grad_sq += grad_sq;
+                gstat.update_sq += update_sq;
+                gstat.param_sq += param_sq;
             }
         });
     }

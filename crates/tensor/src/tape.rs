@@ -39,6 +39,20 @@ pub struct Tape {
     nodes: Vec<Node>,
 }
 
+std::thread_local! {
+    static FINITE_TRIPWIRE: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
+}
+
+/// Enables or disables this thread's debug-build tripwire that panics when
+/// an op produces non-finite values. Release builds never check. Anomaly
+/// tests turn it off so NaN/Inf flow through to the training-dynamics
+/// sentinels exactly as they would in a release binary; everything else
+/// should leave it on — a panic at the first bad op is the fastest way to
+/// localise a numerics bug under `cargo test`.
+pub fn set_finite_tripwire(on: bool) {
+    FINITE_TRIPWIRE.with(|t| t.set(on));
+}
+
 /// Gradients produced by [`Tape::backward`], indexed by [`Var`].
 pub struct Gradients {
     grads: Vec<Option<Tensor>>,
@@ -90,7 +104,10 @@ impl Tape {
         backward: Option<BackwardFn>,
     ) -> Var {
         debug_assert!(parents.iter().all(|p| p.id < self.nodes.len()));
-        debug_assert!(value.is_finite(), "op produced non-finite values");
+        debug_assert!(
+            !FINITE_TRIPWIRE.with(std::cell::Cell::get) || value.is_finite(),
+            "op produced non-finite values"
+        );
         seqrec_obs::metrics::TAPE_NODES.incr();
         self.nodes.push(Node { value, parents, backward });
         Var { id: self.nodes.len() - 1 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Performance-regression gate: re-runs the training-throughput benchmark and
+# diffs the fresh numbers against the committed baseline (BENCH_train.json)
+# with per-metric relative tolerances (see crates/obs/src/benchdiff.rs).
+# Exits non-zero when any gated metric regresses beyond tolerance — wire it
+# into CI after scripts/test.sh.
+#
+# Usage: scripts/bench_gate.sh [--smoke] [--baseline PATH]
+#
+#   --smoke          quick mode for CI: tiny epochs and a 10x tolerance
+#                    scale, so only catastrophic slowdowns (or schema drift
+#                    in the benchmark report) fail the gate.
+#   --baseline PATH  compare against PATH instead of BENCH_train.json.
+#
+# The committed baseline is machine-specific; regenerate it on the machine
+# that runs this gate with scripts/bench_train.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_train.json"
+SMOKE=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --smoke) SMOKE=1 ;;
+        --baseline)
+            shift
+            BASELINE="${1:?--baseline needs a path}"
+            ;;
+        *)
+            echo "unknown flag $1 (usage: scripts/bench_gate.sh [--smoke] [--baseline PATH])" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+
+if [ ! -f "$BASELINE" ]; then
+    echo "bench_gate: baseline $BASELINE not found (run scripts/bench_train.sh first)" >&2
+    exit 2
+fi
+
+FRESH="target/bench_gate_fresh.json"
+mkdir -p target
+if [ "$SMOKE" = 1 ]; then
+    BENCH_ARGS=(--scale 0.005 --epochs 2 --pretrain-epochs 1 --datasets beauty)
+    DIFF_ARGS=(--tolerance-scale 10)
+else
+    # Must match the settings the committed baseline was generated with
+    # (scripts/bench_train.sh defaults) for an apples-to-apples diff.
+    BENCH_ARGS=(--scale 0.02 --epochs 3 --pretrain-epochs 2 --datasets beauty)
+    DIFF_ARGS=()
+fi
+
+echo "== bench_gate: fresh benchmark run (${BENCH_ARGS[*]})"
+cargo run --offline --release -p seqrec-experiments --bin bench_train -- \
+    "${BENCH_ARGS[@]}" --no-ledger --out "$FRESH" >/dev/null
+
+echo "== bench_gate: diff vs $BASELINE"
+cargo run --offline --release -p seqrec-obs --bin bench_diff -- \
+    "$BASELINE" "$FRESH" "${DIFF_ARGS[@]}"

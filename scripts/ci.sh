@@ -16,12 +16,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== scripts/test.sh"
 bash scripts/test.sh
 
-echo "== instrumented smoke train (JSONL sink)"
+echo "== instrumented smoke train (JSONL sink + run ledger)"
 SMOKE_JSONL="target/ci_smoke_obs.jsonl"
-rm -f "$SMOKE_JSONL"
+SMOKE_RUNS="target/ci_smoke_runs"
+rm -rf "$SMOKE_JSONL" "$SMOKE_RUNS"
 SEQREC_OBS="console=silent,jsonl=$SMOKE_JSONL" \
     cargo run --offline --release -p seqrec-experiments --bin bench_train -- \
-    --scale 0.005 --epochs 2 --pretrain-epochs 1 --datasets beauty >/dev/null
+    --scale 0.005 --epochs 2 --pretrain-epochs 1 --datasets beauty \
+    --runs-dir "$SMOKE_RUNS" >/dev/null
 python3 - "$SMOKE_JSONL" <<'PY'
 import json
 import sys
@@ -48,5 +50,38 @@ assert not unclosed, f"unclosed spans: {unclosed}"
 assert events > 100, f"suspiciously few telemetry events: {events}"
 print(f"smoke train OK: {events} well-formed JSONL events")
 PY
+
+echo "== run-ledger validation"
+python3 - "$SMOKE_RUNS/bench_train-42" <<'PY'
+import json
+import os
+import sys
+
+# The smoke run must leave a complete, parseable ledger behind: config with
+# the full argument set, an environment snapshot, and the final report.
+root = sys.argv[1]
+assert os.path.isdir(root), f"missing ledger directory {root}"
+
+with open(os.path.join(root, "config.json")) as f:
+    config = json.load(f)
+assert config["binary"] == "bench_train", config
+for key in ("scale", "epochs", "pretrain_epochs", "seed", "on_anomaly"):
+    assert key in config["args"], f"config.json args missing {key!r}"
+
+with open(os.path.join(root, "env.json")) as f:
+    env = json.load(f)
+for key in ("os", "arch", "package_version", "unix_time_secs"):
+    assert key in env, f"env.json missing {key!r}"
+
+with open(os.path.join(root, "report.json")) as f:
+    report = json.load(f)
+assert report["rows"], "report.json has no benchmark rows"
+for key in ("secs_per_epoch", "seqs_per_sec", "gemm_gflops_per_sec", "peak_tensor_mib"):
+    assert key in report["rows"][0], f"report row missing {key!r}"
+print(f"run ledger OK: {root} (config, env, report with {len(report['rows'])} rows)")
+PY
+
+echo "== bench regression gate (smoke tolerances)"
+bash scripts/bench_gate.sh --smoke
 
 echo "CI gate green."

@@ -1,0 +1,154 @@
+//! Anomaly-sentinel and run-ledger integration guards.
+//!
+//! 1. **Injection, warn vs abort**: feeding a `FitSession` a NaN loss or a
+//!    non-finite gradient group must raise the anomaly exactly once under
+//!    `Warn` (training continues) and request an abort under `Abort`.
+//! 2. **Destabilised run**: a SASRec fit at an absurd learning rate goes
+//!    non-finite within an epoch; under `Abort` the fit stops early AND
+//!    still leaves a complete run ledger behind whose report.json names the
+//!    first anomalous step and parameter group.
+
+use seqrec_data::{Dataset, Split};
+use seqrec_models::common::{AnomalyPolicy, FitSession, TrainOptions};
+use seqrec_models::{EncoderConfig, SasRec};
+use seqrec_obs::json::{self, Value};
+use seqrec_tensor::dynamics::{GroupStat, OptimStepStats};
+
+fn finite_stats(step: u64) -> OptimStepStats {
+    OptimStepStats {
+        step,
+        lr: 1e-3,
+        clip_scale: 1.0,
+        groups: vec![GroupStat {
+            group: "encoder.layer0".into(),
+            params: 4,
+            grad_sq: 0.25,
+            update_sq: 1e-8,
+            param_sq: 4.0,
+        }],
+    }
+}
+
+fn nan_grad_stats(step: u64) -> OptimStepStats {
+    let mut s = finite_stats(step);
+    s.groups[0].grad_sq = f64::NAN;
+    s
+}
+
+#[test]
+fn warn_policy_flags_nan_loss_but_keeps_training() {
+    let opts =
+        TrainOptions { on_anomaly: AnomalyPolicy::Warn, run_dir: None, ..Default::default() };
+    let mut session = FitSession::start("test-model", "{}", &opts);
+    assert!(!session.observe_step(0, 1.0, &finite_stats(1)), "clean step must not abort");
+    assert!(!session.observe_step(0, f32::NAN, &finite_stats(2)), "warn policy must not abort");
+    assert!(!session.observe_step(0, 0.9, &finite_stats(3)));
+    let report = session.anomaly().expect("NaN loss must be recorded");
+    assert_eq!(report.step, 2);
+    assert_eq!(report.kind, "loss");
+    assert_eq!(session.anomalous_steps(), 1);
+}
+
+#[test]
+fn abort_policy_requests_stop_on_nonfinite_gradient() {
+    let opts =
+        TrainOptions { on_anomaly: AnomalyPolicy::Abort, run_dir: None, ..Default::default() };
+    let mut session = FitSession::start("test-model", "{}", &opts);
+    assert!(!session.observe_step(0, 1.0, &finite_stats(1)));
+    assert!(session.observe_step(0, 1.0, &nan_grad_stats(2)), "abort policy must request stop");
+    let report = session.anomaly().expect("gradient anomaly must be recorded");
+    assert_eq!(report.step, 2);
+    assert_eq!(report.kind, "gradient");
+    assert_eq!(report.group, "encoder.layer0");
+}
+
+#[test]
+fn infinite_loss_is_flagged_like_nan() {
+    let opts =
+        TrainOptions { on_anomaly: AnomalyPolicy::Abort, run_dir: None, ..Default::default() };
+    let mut session = FitSession::start("test-model", "{}", &opts);
+    assert!(session.observe_step(0, f32::INFINITY, &finite_stats(1)));
+    assert_eq!(session.anomaly().map(|a| a.kind.as_str()), Some("loss"));
+}
+
+fn toy_dataset() -> Dataset {
+    let seqs = (0..24).map(|u| (0..8).map(|i| ((u + i) % 12) as u32 + 1).collect()).collect();
+    Dataset::new(seqs, 12)
+}
+
+fn read_json(path: &std::path::Path) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing ledger file {}: {e}", path.display()));
+    json::parse(&text).unwrap_or_else(|e| panic!("invalid JSON in {}: {e}", path.display()))
+}
+
+#[test]
+fn destabilised_fit_aborts_and_writes_a_complete_ledger() {
+    let dir = std::env::temp_dir().join(format!("anomaly_ledger_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Let NaN/Inf reach the sentinels as in a release build instead of
+    // tripping the debug-only tape assertion at the first bad op.
+    seqrec_tensor::set_finite_tripwire(false);
+
+    let split = Split::leave_one_out(&toy_dataset());
+    let cfg = EncoderConfig { num_items: 12, d: 16, heads: 2, layers: 1, max_len: 8, dropout: 0.1 };
+    let mut model = SasRec::new(cfg, 7);
+    let opts = TrainOptions {
+        epochs: 6,
+        batch_size: 8,
+        lr: 1e20, // deliberately destabilising: activations overflow within an epoch
+        patience: None,
+        probe_every: 0,
+        on_anomaly: AnomalyPolicy::Abort,
+        run_dir: Some(dir.display().to_string()),
+        ..Default::default()
+    };
+    let report = model.fit(&split, &opts);
+    seqrec_tensor::set_finite_tripwire(true);
+
+    let anomaly = report.anomaly.as_ref().expect("lr=1e20 must trip the sentinels");
+    assert!(anomaly.step >= 1);
+    assert!(
+        matches!(anomaly.kind.as_str(), "loss" | "gradient" | "update" | "parameter"),
+        "unexpected anomaly kind {:?}",
+        anomaly.kind
+    );
+    assert!(report.anomalous_steps >= 1);
+    assert!(
+        report.epochs_run() < opts.epochs,
+        "abort policy must cut training short (ran {} epochs)",
+        report.epochs_run()
+    );
+
+    // The aborted run still leaves a complete ledger behind.
+    for name in ["config.json", "env.json", "metrics.jsonl", "dynamics.jsonl", "report.json"] {
+        assert!(dir.join(name).exists(), "aborted run missing ledger file {name}");
+    }
+    let written = read_json(&dir.join("report.json"));
+    let recorded = written.get("anomaly").expect("report.json must carry the anomaly");
+    assert_eq!(
+        recorded.get("step").and_then(Value::as_f64),
+        Some(anomaly.step as f64),
+        "report.json names a different anomalous step"
+    );
+    assert_eq!(
+        recorded.get("kind").and_then(Value::as_str),
+        Some(anomaly.kind.as_str()),
+        "report.json names a different anomaly kind"
+    );
+    assert_eq!(recorded.get("group").and_then(Value::as_str), Some(anomaly.group.as_str()));
+    let config = read_json(&dir.join("config.json"));
+    assert_eq!(config.get("model").and_then(Value::as_str), Some("SASRec"));
+
+    // dynamics.jsonl covers every step up to and including the anomalous one.
+    let dynamics = std::fs::read_to_string(dir.join("dynamics.jsonl")).unwrap();
+    let steps: Vec<f64> = dynamics
+        .lines()
+        .map(|l| json::parse(l).unwrap().get("step").and_then(Value::as_f64).unwrap())
+        .collect();
+    assert_eq!(steps.len() as f64, *steps.last().unwrap(), "dynamics steps must be contiguous");
+    assert!(*steps.last().unwrap() >= anomaly.step as f64);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

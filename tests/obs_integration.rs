@@ -153,3 +153,54 @@ fn cl4srec_two_stage_run_emits_a_nested_chrome_trace() {
     assert!(count("probe", "epoch") > 0, "probe spans missing");
     assert!(count("eval", "probe") > 0, "eval spans missing under probe");
 }
+
+#[test]
+fn profiler_folds_a_two_stage_trace_and_exclusive_times_sum_to_wall_clock() {
+    let _g = lock();
+    let buf = SharedBuf::new();
+    sink::install(Arc::new(JsonlSink::to_writer(Box::new(buf.clone()))));
+    let split = Split::leave_one_out(&toy_dataset());
+    let mut model = Cl4sRec::new(tiny_cfg(12), 9);
+    let augs = AugmentationSet::paper_full(0.6, 0.3, 0.5, model.mask_token());
+    let pre = PretrainOptions { epochs: 2, batch_size: 8, patience: None, ..Default::default() };
+    let fine = TrainOptions {
+        epochs: 2,
+        batch_size: 8,
+        patience: None,
+        valid_probe_users: 8,
+        ..Default::default()
+    };
+    model.fit(&split, &augs, &pre, &fine);
+    sink::uninstall();
+
+    let events = seqrec_obs::profile::parse_auto(&buf.contents())
+        .unwrap_or_else(|e| panic!("trace did not parse: {e}"));
+    let profile = seqrec_obs::profile::Profile::build(&events)
+        .unwrap_or_else(|e| panic!("trace did not fold: {e}"));
+
+    // Acceptance criterion: the per-phase exclusive times must sum back to
+    // the wall-clock span time within 1%.
+    let total = profile.total_us();
+    assert!(total > 0, "profile has no wall-clock time");
+    let excl_sum: u64 = (0..profile.nodes().len()).map(|i| profile.exclusive_us(i)).sum();
+    let drift = (excl_sum as f64 - total as f64).abs() / total as f64;
+    assert!(
+        drift <= 0.01,
+        "exclusive times sum to {excl_sum}us but wall-clock is {total}us ({:.2}% drift)",
+        drift * 100.0
+    );
+
+    // Both training phases appear with the expected structure.
+    let tree = profile.render_tree();
+    for phase in ["epoch", "batch", "forward", "backward", "optim"] {
+        assert!(tree.contains(phase), "span `{phase}` missing from profile:\n{tree}");
+    }
+    let top = profile.top_exclusive(5);
+    assert!(!top.is_empty());
+    assert!(top.iter().all(|(path, ..)| !path.is_empty()));
+    let folded = profile.folded_stacks();
+    assert!(
+        folded.lines().any(|l| l.contains(";")),
+        "folded stacks carry no nested paths:\n{folded}"
+    );
+}
