@@ -7,12 +7,14 @@
 //! the projection away and optimises the standard next-item objective
 //! (Eq. 15) from the pre-trained encoder weights.
 
+use rayon::prelude::*;
 use seqrec_data::batch::{epoch_batches, pad_left};
 use seqrec_data::Split;
 use seqrec_eval::SequenceScorer;
 use seqrec_models::common::{
     AnomalyPolicy, AnomalyReport, EarlyStopper, EpochClock, FitSession, TrainOptions, TrainReport,
 };
+use seqrec_models::dp;
 use seqrec_models::encoder::EncoderConfig;
 use seqrec_models::sasrec::SasRec;
 use seqrec_tensor::init::{rng, TensorRng};
@@ -65,6 +67,14 @@ pub struct PretrainOptions {
     /// When set, pre-training writes a run ledger into this directory
     /// (same layout as [`TrainOptions::run_dir`]).
     pub run_dir: Option<String>,
+    /// Data-parallel degree: split each contrastive batch into this many
+    /// row shards, run forward/backward per shard, and tree-all-reduce
+    /// gradients before one Adam step (see [`seqrec_models::dp`]).
+    /// Augmented views are identical to a serial pass (per-sequence
+    /// substreams), but NT-Xent negatives come from within each shard, so
+    /// the sharded objective contrasts against `2·N/shards − 1` negatives
+    /// instead of `2N − 1`. 1 (the default) keeps the serial step.
+    pub data_parallel: usize,
 }
 
 impl Default for PretrainOptions {
@@ -78,6 +88,7 @@ impl Default for PretrainOptions {
             verbosity: 0,
             on_anomaly: AnomalyPolicy::Warn,
             run_dir: None,
+            data_parallel: 1,
         }
     }
 }
@@ -138,12 +149,40 @@ impl Cl4sRec {
 
     /// The contrastive loss of one batch of raw training sequences
     /// (two augmented views per sequence, NT-Xent over the `2N` batch).
+    ///
+    /// Augmentation draws a fresh base seed from `r`, then gives every
+    /// sequence its own ChaCha substream — see
+    /// [`Cl4sRec::contrastive_loss_seeded`] for the determinism contract.
     pub fn contrastive_loss(
         &self,
         step: &mut Step,
         seqs: &[&[u32]],
         augs: &AugmentationSet,
         training: bool,
+        r: &mut TensorRng,
+    ) -> Var {
+        let aug_base = rand::RngCore::next_u64(r);
+        self.contrastive_loss_seeded(step, seqs, augs, training, aug_base, 0, r)
+    }
+
+    /// [`Cl4sRec::contrastive_loss`] with the augmentation stream made
+    /// explicit: sequence `i` of this call samples its two views from an
+    /// independent substream seeded `aug_base ^ (offset + i)`. The views
+    /// therefore depend only on `(aug_base, offset, i)` — never on worker
+    /// count, stealing order, or how the batch is sharded — so the batch
+    /// pipeline can run augmentation in parallel, and data-parallel shards
+    /// passing their global row offset reproduce exactly the views one
+    /// serial pass over the full batch would draw. `r` is still consumed
+    /// for dropout on the calling thread.
+    #[allow(clippy::too_many_arguments)]
+    pub fn contrastive_loss_seeded(
+        &self,
+        step: &mut Step,
+        seqs: &[&[u32]],
+        augs: &AugmentationSet,
+        training: bool,
+        aug_base: u64,
+        offset: usize,
         r: &mut TensorRng,
     ) -> Var {
         assert!(seqs.len() >= 2, "need ≥ 2 sequences for in-batch negatives");
@@ -155,10 +194,15 @@ impl Cl4sRec {
         let mut valid2 = Vec::with_capacity(n);
         {
             let _aug = seqrec_obs::span!("augment");
-            for seq in seqs {
-                let (view1, view2) = augs.two_views(seq, r);
-                let (i1, v1) = pad_left(&view1, t);
-                let (i2, v2) = pad_left(&view2, t);
+            let views: Vec<_> = (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let mut ri = rng(aug_base ^ (offset + i) as u64);
+                    let (view1, view2) = augs.two_views(seqs[i], &mut ri);
+                    (pad_left(&view1, t), pad_left(&view2, t))
+                })
+                .collect();
+            for ((i1, v1), (i2, v2)) in views {
                 ids1.extend(i1);
                 ids2.extend(i2);
                 valid1.push(v1);
@@ -174,6 +218,50 @@ impl Cl4sRec {
         };
         let _ntx = seqrec_obs::span!("ntxent");
         nt_xent(step, z1, z2, self.cfg.tau)
+    }
+
+    /// One data-parallel contrastive step over `seqs`: contiguous sequence
+    /// shards, per-shard NT-Xent (negatives come from *within* the shard —
+    /// see [`PretrainOptions::data_parallel`]), loss weighted by the
+    /// shard's sequence share inside the tape, deterministic tree
+    /// all-reduce of the gradients. Returns the weighted batch loss and
+    /// the reduced gradients in `visit` order. The augmented views are the
+    /// ones a serial pass with `aug_base` would draw (shards pass their
+    /// global offset into the substream seed); shard `s` draws dropout
+    /// from `rng(step_seed ^ s)`.
+    fn dp_contrastive_step(
+        &self,
+        seqs: &[&[u32]],
+        augs: &AugmentationSet,
+        aug_base: u64,
+        step_seed: u64,
+        shards: usize,
+    ) -> (f32, Vec<Option<seqrec_tensor::Tensor>>) {
+        let ranges = dp::shard_ranges(seqs.len(), shards);
+        let n_total = seqs.len() as f32;
+        let per: Vec<_> = (0..ranges.len())
+            .into_par_iter()
+            .map(|s| {
+                let (lo, hi) = ranges[s];
+                let w = (hi - lo) as f32 / n_total;
+                let mut shard_rng = rng(step_seed ^ s as u64);
+                let mut step = Step::new();
+                let loss = self.contrastive_loss_seeded(
+                    &mut step,
+                    &seqs[lo..hi],
+                    augs,
+                    true,
+                    aug_base,
+                    lo,
+                    &mut shard_rng,
+                );
+                let scaled = step.tape.scale(loss, w);
+                let grads = step.tape.backward(scaled);
+                let gvec = dp::grads_in_visit_order(self, &step, &grads);
+                (step.tape.value(loss).item(), w, gvec)
+            })
+            .collect();
+        dp::combine_shard_results(per)
     }
 
     /// The joint objective of Eq. 16: next-item BCE on `batch` plus
@@ -198,6 +286,57 @@ impl Cl4sRec {
         let cl = self.contrastive_loss(step, seqs, augs, training, r);
         let weighted = step.tape.scale(cl, lambda);
         step.tape.add(next, weighted)
+    }
+
+    /// One data-parallel **joint** step (Eq. 16 per shard): each shard
+    /// scales its next-item term by its share of valid targets and its
+    /// contrastive term by `λ ×` its sequence share inside the tape, so
+    /// the tree-reduced gradients match the serial joint gradient exactly
+    /// for the next-item term; the contrastive term uses in-shard
+    /// negatives as in [`Cl4sRec::dp_contrastive_step`].
+    #[allow(clippy::too_many_arguments)]
+    fn dp_joint_step(
+        &self,
+        batch: &seqrec_data::batch::NextItemBatch,
+        seqs: &[&[u32]],
+        augs: &AugmentationSet,
+        lambda: f32,
+        aug_base: u64,
+        step_seed: u64,
+        shards: usize,
+    ) -> (f32, Vec<Option<seqrec_tensor::Tensor>>) {
+        let ranges = dp::shard_ranges(seqs.len(), shards);
+        let total_valid = batch.target_mask.iter().sum::<f32>().max(1.0);
+        let n_total = seqs.len() as f32;
+        let per: Vec<_> = (0..ranges.len())
+            .into_par_iter()
+            .map(|s| {
+                let (lo, hi) = ranges[s];
+                let sub = dp::slice_batch(batch, lo, hi);
+                let w_next = sub.target_mask.iter().sum::<f32>() / total_valid;
+                let w_seq = (hi - lo) as f32 / n_total;
+                let mut shard_rng = rng(step_seed ^ s as u64);
+                let mut step = Step::new();
+                let next = self.sasrec.next_item_loss(&mut step, &sub, true, &mut shard_rng);
+                let cl = self.contrastive_loss_seeded(
+                    &mut step,
+                    &seqs[lo..hi],
+                    augs,
+                    true,
+                    aug_base,
+                    lo,
+                    &mut shard_rng,
+                );
+                let next_w = step.tape.scale(next, w_next);
+                let cl_w = step.tape.scale(cl, lambda * w_seq);
+                let total = step.tape.add(next_w, cl_w);
+                let grads = step.tape.backward(total);
+                let gvec = dp::grads_in_visit_order(self, &step, &grads);
+                let shard_loss = step.tape.value(next).item() + lambda * step.tape.value(cl).item();
+                (shard_loss, w_seq, gvec)
+            })
+            .collect();
+        dp::combine_shard_results(per)
     }
 
     /// Contrastive pre-training over the split's training sequences.
@@ -253,11 +392,20 @@ impl Cl4sRec {
                 }
                 let _batch_span = seqrec_obs::span!("batch");
                 let seqs: Vec<&[u32]> = chunk.iter().map(|&u| split.train_sequence(u)).collect();
-                let mut step = Step::new();
-                let loss = self.contrastive_loss(&mut step, &seqs, augs, true, &mut r);
-                let grads = step.tape.backward(loss);
-                let stats = adam.step_with_stats(self, &step, &grads);
-                let batch_loss = step.tape.value(loss).item();
+                let shards = dp::effective_shards(opts.data_parallel, seqs.len());
+                let (batch_loss, stats) = if shards > 1 {
+                    let aug_base = rand::RngCore::next_u64(&mut r);
+                    let step_seed = rand::RngCore::next_u64(&mut r);
+                    let (loss, reduced) =
+                        self.dp_contrastive_step(&seqs, augs, aug_base, step_seed, shards);
+                    (loss, adam.step_with_stats_reduced(self, &reduced))
+                } else {
+                    let mut step = Step::new();
+                    let loss = self.contrastive_loss(&mut step, &seqs, augs, true, &mut r);
+                    let grads = step.tape.backward(loss);
+                    let stats = adam.step_with_stats(self, &step, &grads);
+                    (step.tape.value(loss).item(), stats)
+                };
                 loss_sum += batch_loss as f64;
                 batches += 1;
                 clock.batch_done(chunk.len());
@@ -337,11 +485,21 @@ impl Cl4sRec {
                 let _batch_span = seqrec_obs::span!("batch");
                 let seqs: Vec<&[u32]> = chunk.iter().map(|&u| split.train_sequence(u)).collect();
                 let batch = seqrec_data::batch::next_item_batch(&seqs, t, &mut sampler);
-                let mut step = Step::new();
-                let loss = self.joint_loss(&mut step, &batch, &seqs, augs, lambda, true, &mut r);
-                let grads = step.tape.backward(loss);
-                let stats = adam.step_with_stats(self, &step, &grads);
-                let batch_loss = step.tape.value(loss).item();
+                let shards = dp::effective_shards(opts.data_parallel, seqs.len());
+                let (batch_loss, stats) = if shards > 1 {
+                    let aug_base = rand::RngCore::next_u64(&mut r);
+                    let step_seed = rand::RngCore::next_u64(&mut r);
+                    let (loss, reduced) = self
+                        .dp_joint_step(&batch, &seqs, augs, lambda, aug_base, step_seed, shards);
+                    (loss, adam.step_with_stats_reduced(self, &reduced))
+                } else {
+                    let mut step = Step::new();
+                    let loss =
+                        self.joint_loss(&mut step, &batch, &seqs, augs, lambda, true, &mut r);
+                    let grads = step.tape.backward(loss);
+                    let stats = adam.step_with_stats(self, &step, &grads);
+                    (step.tape.value(loss).item(), stats)
+                };
                 loss_sum += batch_loss as f64;
                 batches += 1;
                 clock.batch_done(chunk.len());

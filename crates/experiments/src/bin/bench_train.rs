@@ -10,7 +10,11 @@
 //! ```
 //!
 //! The JSON report also lands on stdout so `scripts/bench_train.sh` can tee
-//! it; all numbers are single-threaded (the in-tree rayon shim is serial).
+//! it. Timings depend on the worker-pool size, so the report records the
+//! actual thread count (`threads`) and where it came from
+//! (`threads_source`: a `SEQREC_THREADS` override or the machine's
+//! available parallelism) — `scripts/bench_gate.sh` refuses to compare
+//! reports taken at different pool sizes.
 
 use cl4srec::augment::{AugmentationSet, Mask};
 use cl4srec::model::{Cl4sRec, Cl4sRecConfig, PretrainOptions};
@@ -104,6 +108,7 @@ fn bench_dataset(prep: &Prepared, args: &ExpArgs, rows: &mut Vec<BenchRow>) {
         patience: None,
         probe_every: 0,
         verbosity: args.verbosity,
+        data_parallel: args.data_parallel,
         ..Default::default()
     };
 
@@ -138,6 +143,7 @@ fn bench_dataset(prep: &Prepared, args: &ExpArgs, rows: &mut Vec<BenchRow>) {
         seed: args.seed,
         patience: None,
         verbosity: args.verbosity,
+        data_parallel: args.data_parallel,
         ..Default::default()
     };
     seqrec_obs::metrics::reset_all();
@@ -165,7 +171,11 @@ fn bench_dataset(prep: &Prepared, args: &ExpArgs, rows: &mut Vec<BenchRow>) {
 struct BenchTrainReport {
     generated_by: String,
     note: String,
-    threads: String,
+    /// Global worker-pool size the run actually used.
+    threads: usize,
+    /// Where `threads` came from: `"SEQREC_THREADS"` when the env override
+    /// was set, else `"available_parallelism"`.
+    threads_source: String,
     scale: f64,
     epochs: usize,
     pretrain_epochs: usize,
@@ -197,7 +207,12 @@ fn main() {
         generated_by: "scripts/bench_train.sh".to_string(),
         note: "probes disabled (probe_every=0); gemm_flops counts 2*m*k*n per kernel call"
             .to_string(),
-        threads: "1 (in-tree rayon shim is serial)".to_string(),
+        threads: rayon::current_num_threads(),
+        threads_source: if std::env::var_os("SEQREC_THREADS").is_some() {
+            "SEQREC_THREADS".to_string()
+        } else {
+            "available_parallelism".to_string()
+        },
         scale: args.scale,
         epochs: args.epochs,
         pretrain_epochs: args.pretrain_epochs,

@@ -106,6 +106,12 @@ pub struct TrainOptions {
     /// None (the default) writes nothing — tests and library callers stay
     /// free of filesystem side effects.
     pub run_dir: Option<String>,
+    /// Data-parallel degree: split each mini-batch into this many row
+    /// shards, run forward/backward per shard (on the thread pool when one
+    /// is available), and tree-all-reduce the gradients before a single
+    /// optimiser step (see [`crate::dp`]). 1 (the default) keeps the
+    /// classic serial step, bit-identical to previous releases.
+    pub data_parallel: usize,
 }
 
 impl Default for TrainOptions {
@@ -122,6 +128,7 @@ impl Default for TrainOptions {
             verbosity: 0,
             on_anomaly: AnomalyPolicy::Warn,
             run_dir: None,
+            data_parallel: 1,
         }
     }
 }

@@ -25,6 +25,7 @@ pub mod bert4rec;
 pub mod bprmf;
 pub mod caser;
 pub mod common;
+pub mod dp;
 pub mod encoder;
 pub mod fpmc;
 pub mod gru4rec;

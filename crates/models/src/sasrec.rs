@@ -5,6 +5,7 @@
 //! encoder output is scored against the true next item and one sampled
 //! negative with binary cross-entropy.
 
+use rayon::prelude::*;
 use seqrec_data::batch::{
     epoch_batches, next_item_batch, pad_left, NegativeSampler, NextItemBatch,
 };
@@ -16,6 +17,7 @@ use seqrec_tensor::optim::{Adam, AdamConfig, LrSchedule};
 use seqrec_tensor::{linalg, Tensor, Var};
 
 use crate::common::{EarlyStopper, EpochClock, FitSession, TrainOptions, TrainReport};
+use crate::dp;
 use crate::encoder::{EncoderConfig, TransformerEncoder};
 
 /// The SASRec model: a [`TransformerEncoder`] plus the Eq. 15 training
@@ -91,6 +93,48 @@ impl SasRec {
         step.tape.masked_mean(losses, &mask)
     }
 
+    /// One data-parallel training step: shard the batch into contiguous
+    /// row ranges, run forward/backward per shard (each shard owns its own
+    /// tape, so shards can execute on different pool workers), and
+    /// tree-all-reduce the shard gradients. Returns the full-batch loss
+    /// and the reduced gradients in `visit` order, ready for
+    /// [`Adam::step_with_stats_reduced`].
+    ///
+    /// Each shard's loss is scaled inside its tape by the shard's share of
+    /// the batch's valid targets, so the summed shard gradients equal the
+    /// serial full-batch masked-mean gradient up to tree-sum
+    /// re-association. Shard `s` draws dropout from `rng(step_seed ^ s)`;
+    /// the step therefore depends only on `(step_seed, shards)`, never on
+    /// worker scheduling.
+    fn dp_shard_step(
+        &self,
+        batch: &NextItemBatch,
+        shards: usize,
+        step_seed: u64,
+    ) -> (f32, Vec<Option<Tensor>>) {
+        let ranges = dp::shard_ranges(batch.b, shards);
+        let total_valid = batch.target_mask.iter().sum::<f32>().max(1.0);
+        let per: Vec<(f32, f32, Vec<Option<Tensor>>)> = (0..ranges.len())
+            .into_par_iter()
+            .map(|s| {
+                let (lo, hi) = ranges[s];
+                let sub = dp::slice_batch(batch, lo, hi);
+                let w = sub.target_mask.iter().sum::<f32>() / total_valid;
+                let mut shard_rng = rng(step_seed ^ s as u64);
+                let mut step = Step::new();
+                let loss = {
+                    let _fwd = seqrec_obs::span!("forward");
+                    self.next_item_loss(&mut step, &sub, true, &mut shard_rng)
+                };
+                let scaled = step.tape.scale(loss, w);
+                let grads = step.tape.backward(scaled);
+                let gvec = dp::grads_in_visit_order(&self.encoder, &step, &grads);
+                (step.tape.value(loss).item(), w, gvec)
+            })
+            .collect();
+        dp::combine_shard_results(per)
+    }
+
     /// Trains with Adam + linear LR decay and early stopping on a
     /// validation HR@10 probe.
     pub fn fit(&mut self, split: &Split, opts: &TrainOptions) -> TrainReport {
@@ -130,14 +174,21 @@ impl SasRec {
                 let _batch_span = seqrec_obs::span!("batch");
                 let seqs: Vec<&[u32]> = chunk.iter().map(|&u| split.train_sequence(u)).collect();
                 let batch = next_item_batch(&seqs, t, &mut sampler);
-                let mut step = Step::new();
-                let loss = {
-                    let _fwd = seqrec_obs::span!("forward");
-                    self.next_item_loss(&mut step, &batch, true, &mut r)
+                let shards = dp::effective_shards(opts.data_parallel, batch.b);
+                let (batch_loss, stats) = if shards > 1 {
+                    let step_seed = rand::RngCore::next_u64(&mut r);
+                    let (loss, reduced) = self.dp_shard_step(&batch, shards, step_seed);
+                    (loss, adam.step_with_stats_reduced(&mut self.encoder, &reduced))
+                } else {
+                    let mut step = Step::new();
+                    let loss = {
+                        let _fwd = seqrec_obs::span!("forward");
+                        self.next_item_loss(&mut step, &batch, true, &mut r)
+                    };
+                    let grads = step.tape.backward(loss);
+                    let stats = adam.step_with_stats(&mut self.encoder, &step, &grads);
+                    (step.tape.value(loss).item(), stats)
                 };
-                let grads = step.tape.backward(loss);
-                let stats = adam.step_with_stats(&mut self.encoder, &step, &grads);
-                let batch_loss = step.tape.value(loss).item();
                 loss_sum += batch_loss as f64;
                 batches += 1;
                 clock.batch_done(chunk.len());

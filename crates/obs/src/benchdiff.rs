@@ -80,6 +80,10 @@ pub struct DiffReport {
     pub deltas: Vec<Delta>,
     /// Row keys present in the baseline but missing from the fresh report.
     pub missing_rows: Vec<String>,
+    /// `(baseline, fresh)` top-level thread counts when both reports record
+    /// one and they differ — timings at different pool sizes are not
+    /// comparable, so this fails the gate outright.
+    pub thread_mismatch: Option<(f64, f64)>,
 }
 
 impl DiffReport {
@@ -88,9 +92,12 @@ impl DiffReport {
         self.deltas.iter().filter(|d| d.regressed).collect()
     }
 
-    /// `true` when the gate should fail: any regression or missing row.
+    /// `true` when the gate should fail: any regression, missing row, or
+    /// thread-count mismatch.
     pub fn failed(&self) -> bool {
-        !self.missing_rows.is_empty() || self.deltas.iter().any(|d| d.regressed)
+        !self.missing_rows.is_empty()
+            || self.thread_mismatch.is_some()
+            || self.deltas.iter().any(|d| d.regressed)
     }
 
     /// Human-readable gate summary.
@@ -114,11 +121,18 @@ impl DiffReport {
         for row in &self.missing_rows {
             out.push_str(&format!("{row:<28} MISSING from fresh report\n"));
         }
+        if let Some((b, f)) = self.thread_mismatch {
+            out.push_str(&format!(
+                "thread count mismatch: baseline ran at {b} thread(s), fresh at {f} — \
+                 timings are not comparable (set SEQREC_THREADS to match)\n"
+            ));
+        }
         let n_reg = self.regressions().len();
         if self.failed() {
             out.push_str(&format!(
-                "GATE FAILED: {n_reg} regression(s), {} missing row(s)\n",
-                self.missing_rows.len()
+                "GATE FAILED: {n_reg} regression(s), {} missing row(s){}\n",
+                self.missing_rows.len(),
+                if self.thread_mismatch.is_some() { ", thread-count mismatch" } else { "" }
             ));
         } else {
             out.push_str(&format!("GATE OK: {} comparisons, no regressions\n", self.deltas.len()));
@@ -166,6 +180,17 @@ pub fn diff(
     let fresh_rows = rows_of(&fresh).map_err(|e| format!("fresh report: {e}"))?;
 
     let mut report = DiffReport::default();
+    // Reports generated since the pool became multi-threaded carry a
+    // numeric top-level `threads`; old baselines had a prose string there,
+    // which `as_f64` rejects, so the check degrades gracefully on them.
+    if let (Some(b), Some(f)) = (
+        baseline.get("threads").and_then(Value::as_f64),
+        fresh.get("threads").and_then(Value::as_f64),
+    ) {
+        if b != f {
+            report.thread_mismatch = Some((b, f));
+        }
+    }
     for (key, base_row) in &base_rows {
         let Some((_, fresh_row)) = fresh_rows.iter().find(|(k, _)| k == key) else {
             report.missing_rows.push(key.clone());
@@ -296,5 +321,20 @@ mod tests {
     fn malformed_reports_error_with_context() {
         assert!(diff("{oops", "{}", &default_specs()).unwrap_err().contains("baseline"));
         assert!(diff("{}", "[]", &default_specs()).unwrap_err().contains("rows"));
+    }
+
+    #[test]
+    fn thread_count_mismatch_fails_the_gate() {
+        let r = row("SASRec", 1.0, 100.0, 20.0, 50.0);
+        let base = format!("{{\"threads\":1,\"rows\":[{r}]}}");
+        let fresh = format!("{{\"threads\":4,\"rows\":[{r}]}}");
+        let d = diff(&base, &fresh, &default_specs()).unwrap();
+        assert_eq!(d.thread_mismatch, Some((1.0, 4.0)));
+        assert!(d.failed());
+        assert!(d.render().contains("thread count mismatch"), "{}", d.render());
+        // Matching counts, or a legacy prose `threads` string, pass.
+        assert!(!diff(&fresh, &fresh, &default_specs()).unwrap().failed());
+        let legacy = format!("{{\"threads\":\"1 (serial)\",\"rows\":[{r}]}}");
+        assert!(!diff(&legacy, &fresh, &default_specs()).unwrap().failed());
     }
 }

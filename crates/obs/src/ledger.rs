@@ -115,8 +115,15 @@ impl RunLedger {
         s.push_str(",\"arch\":");
         json::write_str(&mut s, std::env::consts::ARCH);
         s.push_str(&format!(",\"hardware_cpus\":{cpus}"));
-        s.push_str(",\"threads_used\":1,\"threading_note\":");
-        json::write_str(&mut s, "in-tree rayon shim is serial; all timings single-threaded");
+        let (threads, threads_source) = configured_threads(cpus);
+        s.push_str(&format!(",\"threads_used\":{threads},\"threads_source\":"));
+        json::write_str(&mut s, threads_source);
+        s.push_str(",\"threading_note\":");
+        json::write_str(
+            &mut s,
+            "in-tree work-stealing rayon shim; threads_used is the global pool size \
+             (serial fallback at 1)",
+        );
         s.push_str(",\"package_version\":");
         json::write_str(&mut s, env!("CARGO_PKG_VERSION"));
         s.push_str(",\"seqrec_obs\":");
@@ -161,6 +168,22 @@ impl RunLedger {
         writeln!(f, "{json_text}")
             .unwrap_or_else(|e| panic!("cannot append {}: {e}", path.display()));
     }
+}
+
+/// The thread count the rayon shim's global pool will use, and where that
+/// number came from. This mirrors the sizing rule in `shims/rayon` —
+/// `SEQREC_THREADS` when set to a positive integer, else the machine's
+/// available parallelism — because `seqrec-obs` is intentionally
+/// dependency-free and cannot ask the pool directly.
+fn configured_threads(hardware_cpus: usize) -> (usize, &'static str) {
+    if let Ok(v) = std::env::var("SEQREC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return (n, "SEQREC_THREADS");
+            }
+        }
+    }
+    (hardware_cpus.max(1), "available_parallelism")
 }
 
 #[cfg(test)]

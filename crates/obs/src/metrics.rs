@@ -225,6 +225,14 @@ pub static UPDATE_RATIO_MICRO: Histogram = Histogram::new(
     "train.update_ratio_micro",
     &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
 );
+/// Distribution of the per-step spread (max − min, milli-units) of shard
+/// losses under data-parallel training. A wide spread means the shards see
+/// systematically different data — the DP analogue of a skewed per-group
+/// gradient norm.
+pub static DP_SHARD_LOSS_SPREAD_MILLI: Histogram = Histogram::new(
+    "train.dp_shard_loss_spread_milli",
+    &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000],
+);
 
 /// Records a non-negative float into a scaled histogram: `value * scale`,
 /// saturating, with NaN/Inf mapped to `u64::MAX` (the overflow bucket).
@@ -286,8 +294,14 @@ fn gauges() -> [&'static Gauge; 1] {
     [&TENSOR_LIVE_BYTES]
 }
 
-fn histograms() -> [&'static Histogram; 4] {
-    [&GEMM_FLOPS_PER_CALL, &TRAIN_BATCH_US, &GRAD_NORM_MILLI, &UPDATE_RATIO_MICRO]
+fn histograms() -> [&'static Histogram; 5] {
+    [
+        &GEMM_FLOPS_PER_CALL,
+        &TRAIN_BATCH_US,
+        &GRAD_NORM_MILLI,
+        &UPDATE_RATIO_MICRO,
+        &DP_SHARD_LOSS_SPREAD_MILLI,
+    ]
 }
 
 /// Reads every registered metric.

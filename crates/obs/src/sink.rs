@@ -7,10 +7,11 @@
 //! epoch*), and every OS thread gets a small stable `tid` so traces from
 //! rayon workers interleave cleanly.
 
+use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -81,9 +82,21 @@ pub trait Sink: Send + Sync {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static DETAIL: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
+/// Bumped (under the `SINK` lock) every time the installed sink changes,
+/// so per-thread caches know when their `Arc` is stale.
+static SINK_GEN: AtomicU64 = AtomicU64::new(0);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static NEXT_TID: AtomicU32 = AtomicU32::new(1);
 static THREAD_NAMES: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Per-thread cache of the installed sink, keyed by [`SINK_GEN`]. Span
+    /// events fire from every pool worker at once; funnelling them all
+    /// through the `SINK` mutex would serialise the workers, so
+    /// [`dispatch`] only touches the lock when the generation moved.
+    static SINK_CACHE: RefCell<(u64, Option<Arc<dyn Sink>>)> =
+        const { RefCell::new((0, None)) };
+}
 
 thread_local! {
     static TID: u32 = {
@@ -159,6 +172,7 @@ pub fn install(sink: Arc<dyn Sink>) {
         old.finish();
     }
     *slot = Some(sink);
+    SINK_GEN.fetch_add(1, Ordering::Release);
     ENABLED.store(true, Ordering::Release);
 }
 
@@ -168,6 +182,7 @@ pub fn uninstall() -> Option<Arc<dyn Sink>> {
     let mut slot = sink_slot();
     ENABLED.store(false, Ordering::Release);
     let old = slot.take();
+    SINK_GEN.fetch_add(1, Ordering::Release);
     if let Some(s) = &old {
         s.flush();
         s.finish();
@@ -176,14 +191,32 @@ pub fn uninstall() -> Option<Arc<dyn Sink>> {
 }
 
 /// Sends one event to the installed sink, if any.
+///
+/// Fast path: one relaxed load ([`enabled`]), one acquire load (the sink
+/// generation), one thread-local read — no lock and no refcount traffic,
+/// so concurrent pool workers never serialise here. The `SINK` mutex is
+/// taken only when the generation moved, i.e. once per thread per
+/// [`install`]/[`uninstall`]. A thread mid-event when the sink is swapped
+/// may deliver that event to the outgoing sink — the same window the old
+/// lock-then-clone sequence had; sinks already tolerate events after
+/// `finish`.
 pub fn dispatch(ev: &Event<'_>) {
     if !enabled() {
         return;
     }
-    let sink = sink_slot().clone();
-    if let Some(s) = sink {
-        s.event(ev);
-    }
+    let generation = SINK_GEN.load(Ordering::Acquire);
+    SINK_CACHE.with(|cache| {
+        if cache.borrow().0 != generation {
+            // Re-read the generation while holding the lock (every bump
+            // happens under it), so the cached pair is consistent even
+            // when an install races this refresh.
+            let slot = sink_slot();
+            *cache.borrow_mut() = (SINK_GEN.load(Ordering::Acquire), slot.clone());
+        }
+        if let Some(s) = &cache.borrow().1 {
+            s.event(ev);
+        }
+    });
 }
 
 /// Flushes the installed sink's buffers without uninstalling it.

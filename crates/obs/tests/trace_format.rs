@@ -245,3 +245,67 @@ fn chrome_trace_names_the_process_and_every_thread_lane() {
     assert!(named.contains(&0.0), "metrics lane (tid 0) never named");
     seqrec_obs::metrics::reset_all();
 }
+
+/// Spans emitted from inside a real worker pool land on lanes labelled
+/// with the workers' OS thread names (`seqrec-worker-<i>`), so a Chrome
+/// trace of a parallel run shows per-worker rows instead of bare tids.
+/// (Cross-thread timestamps are not globally ordered; this test only
+/// checks labelling, unlike the single-thread monotonicity test above.)
+#[test]
+fn chrome_trace_labels_pool_worker_lanes() {
+    let _g = lock();
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().expect("pool builds");
+    let text = capture_chrome(|| {
+        pool.install(|| {
+            rayon::join(
+                || {
+                    let _s = seqrec_obs::span!("left");
+                    std::hint::black_box(0)
+                },
+                || {
+                    let _s = seqrec_obs::span!("right");
+                    std::hint::black_box(1)
+                },
+            );
+        });
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("chrome trace not JSON: {e}\n{text}"));
+    let events = doc.as_arr().expect("top-level array");
+    let worker_lanes: Vec<&str> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("M")
+                && e.get("name").and_then(Value::as_str) == Some("thread_name")
+        })
+        .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str))
+        .filter(|l| l.starts_with("seqrec-worker-"))
+        .collect();
+    // `install` runs the closure on a pool worker, so at least one span —
+    // and therefore one labelled lane — is guaranteed to be a worker's.
+    assert!(!worker_lanes.is_empty(), "no seqrec-worker-* lane in trace:\n{text}");
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("B"))
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    assert_eq!(span_names.len(), 2, "expected both spans, got {span_names:?}");
+    assert!(span_names.contains(&"left") && span_names.contains(&"right"));
+}
+
+/// The per-thread sink cache in `sink::dispatch` invalidates on
+/// re-install: events after a sink swap must reach the new sink, never a
+/// stale cached `Arc`.
+#[test]
+fn reinstalling_a_sink_reaches_threads_with_a_warm_cache() {
+    let _g = lock();
+    let buf_a = SharedBuf::new();
+    let buf_b = SharedBuf::new();
+    sink::install(std::sync::Arc::new(JsonlSink::to_writer(Box::new(buf_a.clone()))));
+    seqrec_obs::info!("first"); // warms this thread's cache on sink A
+    sink::install(std::sync::Arc::new(JsonlSink::to_writer(Box::new(buf_b.clone()))));
+    seqrec_obs::info!("second"); // generation moved: must land in sink B
+    sink::uninstall();
+    let (a, b) = (buf_a.contents(), buf_b.contents());
+    assert!(a.contains("first") && !a.contains("second"), "stale cache hit sink A: {a}");
+    assert!(b.contains("second") && !b.contains("first"), "sink B missed the event: {b}");
+}

@@ -29,12 +29,13 @@
 //!   `par_chunks_mut` — disjoint output regions, no locks, no unsafe
 //!   aliasing. Workers pack their own A panels into thread-local scratch
 //!   ([`scratch`]), so steady-state GEMM performs **zero allocation**.
-//!   Caveat: in the offline build container rayon is the serial in-tree
-//!   shim (`shims/README.md`), so this fan-out describes the *structure*
-//!   of the code, not measured multicore behaviour — every number in
-//!   `BENCH_matmul.json` is single-threaded, and the ≥2× speedups recorded
-//!   there compare serial blocked kernels against serial seed kernels.
-//!   Multicore scaling must be re-measured with the genuine rayon.
+//!   The in-tree rayon shim is a real work-stealing pool sized by
+//!   `SEQREC_THREADS` / available parallelism (`shims/README.md`);
+//!   because the bands are disjoint, results are bit-identical at every
+//!   pool size, and `SEQREC_THREADS=1` is a guaranteed serial mode.
+//!   Committed benchmark numbers record the pool size they were measured
+//!   at (`BENCH_matmul.json`'s `environment` block, `BENCH_train.json`'s
+//!   `threads` field).
 //!
 //! ### Retuning
 //!

@@ -108,4 +108,44 @@ mod tests {
         let next_ptr = with_pack_b(8, |b| b.as_ptr() as usize);
         assert_eq!(outer_ptr, next_ptr);
     }
+
+    #[test]
+    fn reentry_is_safe_on_real_pool_workers() {
+        // The scenario the take/restore dance exists for: a worker blocked
+        // in `join` steals another GEMM task and re-enters the pack
+        // buffers mid-closure. Drive it directly — nested joins inside
+        // live `with_pack_*` closures on a multi-worker pool — and assert
+        // no BorrowMutError and no aliasing between the live buffers.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            rayon::join(
+                || {
+                    with_pack_b(64, |outer_b| {
+                        outer_b.fill(1.0);
+                        rayon::join(
+                            || {
+                                with_pack_a(32, |a| {
+                                    a.fill(2.0);
+                                    with_pack_b(16, |inner_b| inner_b.fill(3.0));
+                                    assert!(a.iter().all(|&v| v == 2.0));
+                                })
+                            },
+                            || with_pack_b(48, |b| b.fill(4.0)),
+                        );
+                        assert!(
+                            outer_b.iter().all(|&v| v == 1.0),
+                            "outer B-panel clobbered by re-entrant pack"
+                        );
+                    })
+                },
+                || {
+                    with_pack_a(64, |a| {
+                        a.fill(5.0);
+                        rayon::join(|| with_pack_a(8, |x| x.fill(6.0)), || ());
+                        assert!(a.iter().all(|&v| v == 5.0), "outer A-panel clobbered");
+                    })
+                },
+            );
+        });
+    }
 }

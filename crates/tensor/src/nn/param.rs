@@ -5,9 +5,14 @@
 //! inserted as a leaf and the resulting [`Var`] is cached, so a parameter
 //! used by several sub-graphs (e.g. the item-embedding table shared between
 //! two augmented views) accumulates all its gradients in one place.
+//!
+//! The binding cache holds one entry **per live tape**, behind a mutex:
+//! data-parallel training shares `&model` across shard threads, each with
+//! its own [`Step`], and every shard must keep its one-var-per-tape
+//! accumulation invariant without clobbering the others' bindings.
 
-use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::tape::{Gradients, Tape, Var};
 use crate::tensor::Tensor;
@@ -46,18 +51,27 @@ impl Default for Step {
     }
 }
 
+/// How many per-tape bindings a parameter keeps before evicting the
+/// oldest. Data-parallel training runs one tape per shard concurrently;
+/// 16 comfortably covers any realistic shard count.
+const MAX_BINDINGS: usize = 16;
+
 /// A named trainable tensor.
 pub struct Param {
     name: String,
     value: Tensor,
-    binding: Cell<Option<(TapeId, Var)>>,
+    binding: Mutex<Vec<(TapeId, Var)>>,
 }
 
 impl Param {
     /// Creates a parameter with a diagnostic name (also the optimizer-state
     /// key, so names must be unique within one model).
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
-        Param { name: name.into(), value, binding: Cell::new(None) }
+        Param { name: name.into(), value, binding: Mutex::new(Vec::new()) }
+    }
+
+    fn bindings(&self) -> std::sync::MutexGuard<'_, Vec<(TapeId, Var)>> {
+        self.binding.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The parameter's name.
@@ -72,7 +86,7 @@ impl Param {
 
     /// Mutable access for optimizers and custom initialisation.
     pub fn value_mut(&mut self) -> &mut Tensor {
-        self.binding.set(None); // any recorded binding now refers to old data
+        self.bindings().clear(); // any recorded binding now refers to old data
         &mut self.value
     }
 
@@ -87,25 +101,27 @@ impl Param {
     }
 
     /// Binds this parameter to the step's tape, inserting it as a leaf on
-    /// first use and reusing the same var afterwards.
+    /// first use and reusing the same var afterwards. Safe to call from
+    /// several threads with *different* steps (each tape gets its own
+    /// binding entry); a single `Step` is still single-threaded by `&mut`.
     pub fn var(&self, step: &mut Step) -> Var {
-        if let Some((id, var)) = self.binding.get() {
-            if id == step.id {
-                return var;
-            }
+        let mut b = self.bindings();
+        if let Some(&(_, var)) = b.iter().find(|(id, _)| *id == step.id) {
+            return var;
         }
         let var = step.tape.leaf(self.value.clone());
-        self.binding.set(Some((step.id, var)));
+        if b.len() >= MAX_BINDINGS {
+            b.remove(0);
+        }
+        b.push((step.id, var));
         var
     }
 
     /// The gradient this parameter received on `step`, if it was used and
     /// influenced the loss.
     pub fn grad<'g>(&self, step: &Step, grads: &'g Gradients) -> Option<&'g Tensor> {
-        match self.binding.get() {
-            Some((id, var)) if id == step.id => grads.get(var),
-            _ => None,
-        }
+        let b = self.bindings();
+        b.iter().find(|(id, _)| *id == step.id).and_then(|&(_, var)| grads.get(var))
     }
 }
 
@@ -190,6 +206,25 @@ mod tests {
         // binding cleared → re-binding picks up the new value
         let v = p.var(&mut step);
         assert_eq!(step.tape.value(v).item(), 9.0);
+    }
+
+    #[test]
+    fn interleaved_steps_keep_independent_bindings() {
+        // Data-parallel shards each run their own step against a shared
+        // model; one shard's binding must not clobber another's.
+        let p = Param::new("w", Tensor::from_vec([1], vec![2.0]));
+        let mut s1 = Step::new();
+        let mut s2 = Step::new();
+        let v1 = p.var(&mut s1);
+        let v2 = p.var(&mut s2);
+        let a1 = s1.tape.scale(v1, 3.0);
+        let l1 = s1.tape.sum_all(a1);
+        let g1 = s1.tape.backward(l1);
+        let a2 = s2.tape.scale(v2, 5.0);
+        let l2 = s2.tape.sum_all(a2);
+        let g2 = s2.tape.backward(l2);
+        assert_eq!(p.grad(&s1, &g1).unwrap().data(), &[3.0]);
+        assert_eq!(p.grad(&s2, &g2).unwrap().data(), &[5.0]);
     }
 
     #[test]

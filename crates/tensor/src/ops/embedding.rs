@@ -1,8 +1,57 @@
 //! Table lookups and structural ops (head split/merge, time slicing,
 //! concatenation, per-row scaling).
 
+use rayon::prelude::*;
+
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
+
+/// Below this many output scalars the scatter runs serially — banding a
+/// small table costs more in id re-scans than it saves.
+const PAR_SCATTER_MIN: usize = 16_384;
+
+/// Scatter-adds gradient rows of width `d` into a zeroed `[v, d]` table
+/// gradient: row `rows[i]` receives `g[i*d..(i+1)*d]`.
+///
+/// Parallelism is over **destination** bands: each band owns a contiguous
+/// range of table rows, scans every id, and accumulates only its own hits,
+/// in id order. Each output row therefore sees its adds in exactly the
+/// serial order, so the result is bit-identical to the serial loop for
+/// *every* band count — determinism here doesn't depend on the pool size
+/// at all. Bands write disjoint rows, so no reduction pass is needed.
+pub(crate) fn scatter_add_rows(
+    rows: &[usize],
+    g: &[f32],
+    v: usize,
+    d: usize,
+    bands: usize,
+) -> Vec<f32> {
+    let mut dt = vec![0.0f32; v * d];
+    let band_rows = if bands <= 1 { v } else { v.div_ceil(bands) };
+    if band_rows >= v || v * d < PAR_SCATTER_MIN {
+        scatter_band(rows, g, d, &mut dt, 0);
+    } else {
+        dt.par_chunks_mut(band_rows * d).enumerate().for_each(|(c, band)| {
+            scatter_band(rows, g, d, band, c * band_rows);
+        });
+    }
+    dt
+}
+
+/// Accumulates the ids landing in `[row0, row0 + band.len()/d)` into `band`.
+fn scatter_band(rows: &[usize], g: &[f32], d: usize, band: &mut [f32], row0: usize) {
+    let n_rows = band.len() / d;
+    for (&r, grow) in rows.iter().zip(g.chunks(d)) {
+        let Some(local) = r.checked_sub(row0) else { continue };
+        if local >= n_rows {
+            continue;
+        }
+        let dst = &mut band[local * d..(local + 1) * d];
+        for (o, &gv) in dst.iter_mut().zip(grow) {
+            *o += gv;
+        }
+    }
+}
 
 impl Tape {
     /// Gathers rows of an embedding table: `table` is `[V, d]`, `ids` has
@@ -26,18 +75,13 @@ impl Tape {
         }
         let mut dims = out_batch_dims.to_vec();
         dims.push(d);
-        let ids: Vec<u32> = ids.to_vec();
+        let rows: Vec<usize> = ids.iter().map(|&id| id as usize).collect();
         self.push(
             Tensor::from_vec(dims, out),
             vec![table],
             Some(Box::new(move |g: &Tensor| {
-                let mut dt = vec![0.0f32; v * d];
-                for (&id, grow) in ids.iter().zip(g.data().chunks(d)) {
-                    let dst = &mut dt[id as usize * d..(id as usize + 1) * d];
-                    for (o, &gv) in dst.iter_mut().zip(grow) {
-                        *o += gv;
-                    }
-                }
+                let bands = rayon::current_num_threads();
+                let dt = scatter_add_rows(&rows, g.data(), v, d, bands);
                 vec![Tensor::from_vec([v, d], dt)]
             })),
         )
@@ -118,18 +162,13 @@ impl Tape {
             let start = (bi * t + ti) * d;
             out.extend_from_slice(&xv.data()[start..start + d]);
         }
-        let positions: Vec<(usize, usize)> = positions.to_vec();
+        let rows: Vec<usize> = positions.iter().map(|&(bi, ti)| bi * t + ti).collect();
         self.push(
             Tensor::from_vec([n, d], out),
             vec![x],
             Some(Box::new(move |g: &Tensor| {
-                let mut dx = vec![0.0f32; b * t * d];
-                for (&(bi, ti), grow) in positions.iter().zip(g.data().chunks(d)) {
-                    let dst = &mut dx[(bi * t + ti) * d..(bi * t + ti) * d + d];
-                    for (o, &gv) in dst.iter_mut().zip(grow) {
-                        *o += gv;
-                    }
-                }
+                let bands = rayon::current_num_threads();
+                let dx = scatter_add_rows(&rows, g.data(), b * t, d, bands);
                 vec![Tensor::from_vec([b, t, d], dx)]
             })),
         )
@@ -290,6 +329,25 @@ mod tests {
         let g = t.backward(s);
         let dt = g.get(table).unwrap();
         assert_eq!(dt.data(), &[1.0, 1.0, 2.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn banded_scatter_is_bit_identical_to_serial() {
+        // v*d = 256*64 clears PAR_SCATTER_MIN, so bands > 1 really take the
+        // parallel path; run on an explicit pool so the bands execute on
+        // real workers. Destination banding preserves the per-row add
+        // order, so every band count must agree bit-for-bit.
+        let (v, d, n) = (256usize, 64usize, 1000usize);
+        let rows: Vec<usize> = (0..n).map(|i| (i * 37 + 11) % v).collect();
+        let g: Vec<f32> = (0..n * d).map(|i| ((i * 2_654_435_761) as f32).sin()).collect();
+        let serial = scatter_add_rows(&rows, &g, v, d, 1);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        for bands in 2..=5 {
+            let banded = pool.install(|| scatter_add_rows(&rows, &g, v, d, bands));
+            for (a, b) in serial.iter().zip(&banded) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bands={bands} diverged");
+            }
+        }
     }
 
     #[test]

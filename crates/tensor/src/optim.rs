@@ -129,15 +129,42 @@ impl Adam {
         stats
     }
 
+    /// Like [`Adam::step_with_stats`], but reads each parameter's gradient
+    /// from `reduced`, indexed in `visit` order. The data-parallel fit path
+    /// tree-reduces per-shard gradients into such a slice, then applies a
+    /// single ordinary Adam update — the update arithmetic is byte-for-byte
+    /// the same code path as [`Adam::step`].
+    pub fn step_with_stats_reduced<M: HasParams + ?Sized>(
+        &mut self,
+        model: &mut M,
+        reduced: &[Option<Tensor>],
+    ) -> OptimStepStats {
+        let mut stats = OptimStepStats::default();
+        self.step_core(model, &|i, _| reduced.get(i).and_then(Option::as_ref), Some(&mut stats));
+        stats
+    }
+
     fn step_inner<M: HasParams + ?Sized>(
         &mut self,
         model: &mut M,
         step: &Step,
         grads: &Gradients,
+        stats: Option<&mut OptimStepStats>,
+    ) {
+        self.step_core(model, &|_, p| p.grad(step, grads), stats);
+    }
+
+    /// The shared update loop: `grad_at(i, p)` resolves parameter `i` (in
+    /// `visit`/`visit_mut` order) to its gradient, from either a tape or a
+    /// pre-reduced slice.
+    fn step_core<'g, M: HasParams + ?Sized>(
+        &mut self,
+        model: &mut M,
+        grad_at: &(dyn Fn(usize, &Param) -> Option<&'g Tensor> + 'g),
         mut stats: Option<&mut OptimStepStats>,
     ) {
         let _span = seqrec_obs::span!("optim");
-        let clip_scale = self.clip_scale(model, step, grads);
+        let clip_scale = self.clip_scale(model, grad_at);
         let lr = self.current_lr();
         self.t += 1;
         let bc1 = 1.0 - self.cfg.beta1.powi(self.t as i32);
@@ -150,8 +177,11 @@ impl Adam {
             s.clip_scale = clip_scale;
         }
 
+        let mut index = 0usize;
         model.visit_mut(&mut |p: &mut Param| {
-            let Some(grad) = p.grad(step, grads) else { return };
+            let i = index;
+            index += 1;
+            let Some(grad) = grad_at(i, p) else { return };
             let grad = grad.clone();
             let entry = state.entry(p.name().to_string()).or_insert_with(|| Moments {
                 m: Tensor::zeros(grad.shape().clone()),
@@ -202,11 +232,18 @@ impl Adam {
         });
     }
 
-    fn clip_scale<M: HasParams + ?Sized>(&self, model: &M, step: &Step, grads: &Gradients) -> f32 {
+    fn clip_scale<'g, M: HasParams + ?Sized>(
+        &self,
+        model: &M,
+        grad_at: &(dyn Fn(usize, &Param) -> Option<&'g Tensor> + 'g),
+    ) -> f32 {
         let Some(max_norm) = self.cfg.clip_norm else { return 1.0 };
         let mut sq = 0.0f64;
+        let mut index = 0usize;
         model.visit(&mut |p: &Param| {
-            if let Some(g) = p.grad(step, grads) {
+            let i = index;
+            index += 1;
+            if let Some(g) = grad_at(i, p) {
                 let n = g.norm() as f64;
                 sq += n * n;
             }

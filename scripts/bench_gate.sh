@@ -52,6 +52,21 @@ else
     DIFF_ARGS=()
 fi
 
+# Pin the fresh run to the pool size the baseline was measured at, so the
+# diff (and its thread-count check) compares like with like. A caller's
+# explicit SEQREC_THREADS wins; legacy baselines that stored a prose
+# string in `threads` yield no pin and the check degrades gracefully.
+if [ -z "${SEQREC_THREADS:-}" ]; then
+    BASE_THREADS=$(python3 -c '
+import json, sys
+t = json.load(open(sys.argv[1])).get("threads")
+print(t if isinstance(t, int) else "")' "$BASELINE")
+    if [ -n "$BASE_THREADS" ]; then
+        export SEQREC_THREADS="$BASE_THREADS"
+        echo "== bench_gate: pinning SEQREC_THREADS=$BASE_THREADS (baseline pool size)"
+    fi
+fi
+
 echo "== bench_gate: fresh benchmark run (${BENCH_ARGS[*]})"
 cargo run --offline --release -p seqrec-experiments --bin bench_train -- \
     "${BENCH_ARGS[@]}" --no-ledger --out "$FRESH" >/dev/null

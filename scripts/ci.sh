@@ -13,14 +13,22 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== scripts/test.sh"
+echo "== scripts/test.sh (default pool size)"
 bash scripts/test.sh
 
-echo "== instrumented smoke train (JSONL sink + run ledger)"
-SMOKE_JSONL="target/ci_smoke_obs.jsonl"
+# Second pass on a 2-worker pool: the training path is designed to be
+# bit-identical at any thread count (disjoint-write parallelism only), so
+# the whole tier-1 suite — goldens included — must stay green here. The
+# release build is shared with the first pass; only test execution repeats.
+echo "== scripts/test.sh (SEQREC_THREADS=2: thread-count invariance)"
+SEQREC_THREADS=2 bash scripts/test.sh
+
 SMOKE_RUNS="target/ci_smoke_runs"
+for SMOKE_THREADS in 1 2; do
+echo "== instrumented smoke train at SEQREC_THREADS=$SMOKE_THREADS (JSONL sink + run ledger)"
+SMOKE_JSONL="target/ci_smoke_obs_t${SMOKE_THREADS}.jsonl"
 rm -rf "$SMOKE_JSONL" "$SMOKE_RUNS"
-SEQREC_OBS="console=silent,jsonl=$SMOKE_JSONL" \
+SEQREC_THREADS="$SMOKE_THREADS" SEQREC_OBS="console=silent,jsonl=$SMOKE_JSONL" \
     cargo run --offline --release -p seqrec-experiments --bin bench_train -- \
     --scale 0.005 --epochs 2 --pretrain-epochs 1 --datasets beauty \
     --runs-dir "$SMOKE_RUNS" >/dev/null
@@ -50,6 +58,7 @@ assert not unclosed, f"unclosed spans: {unclosed}"
 assert events > 100, f"suspiciously few telemetry events: {events}"
 print(f"smoke train OK: {events} well-formed JSONL events")
 PY
+done
 
 echo "== run-ledger validation"
 python3 - "$SMOKE_RUNS/bench_train-42" <<'PY'
@@ -72,10 +81,15 @@ with open(os.path.join(root, "env.json")) as f:
     env = json.load(f)
 for key in ("os", "arch", "package_version", "unix_time_secs"):
     assert key in env, f"env.json missing {key!r}"
+# The surviving ledger is from the SEQREC_THREADS=2 smoke pass: the env
+# snapshot must record the override, not the hardware default.
+assert env.get("threads_used") == 2, f"env.json threads_used: {env}"
+assert env.get("threads_source") == "SEQREC_THREADS", f"env.json threads_source: {env}"
 
 with open(os.path.join(root, "report.json")) as f:
     report = json.load(f)
 assert report["rows"], "report.json has no benchmark rows"
+assert report.get("threads") == 2, f"report.json threads: {report.get('threads')!r}"
 for key in ("secs_per_epoch", "seqs_per_sec", "gemm_gflops_per_sec", "peak_tensor_mib"):
     assert key in report["rows"][0], f"report row missing {key!r}"
 print(f"run ledger OK: {root} (config, env, report with {len(report['rows'])} rows)")

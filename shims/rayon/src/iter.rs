@@ -1,0 +1,641 @@
+//! Parallel iterators over the rayon pool: slice/range/`Vec` sources, the
+//! adapters the workspace uses (`map`, `enumerate`, `zip`, `filter`,
+//! `fold`, `with_min_len`) and the terminal operations (`for_each`,
+//! `reduce`, `collect`, `sum`, `count`).
+//!
+//! Execution model: every iterator knows its indexed length and can drive
+//! any sub-range `[lo, hi)` serially, in index order, through a consumer
+//! callback. A terminal op splits `[0, len)` into a deterministic set of
+//! leaf ranges — a function of the length, the pool size and the `min_len`
+//! hint only, never of runtime stealing — and runs the leaves under
+//! [`crate::join`]. Per-leaf results (fold accumulators, collected
+//! buffers, partial sums) are combined **in leaf order**, so results are
+//! reproducible for a fixed pool size regardless of which worker ran what.
+//!
+//! At `current_num_threads() == 1` there is exactly one leaf covering the
+//! whole range: a single accumulator folded left-to-right, bit-identical
+//! to the serial shim this module replaced.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// --- leaf scheduling ---------------------------------------------------------
+
+/// Deterministic leaf partition of `[0, len)`: ~4 leaves per pool thread
+/// (steal granularity without excessive job overhead), each at least
+/// `min_len` items; one single leaf when the pool is serial.
+fn leaf_ranges(len: usize, min_len: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = crate::current_num_threads();
+    if threads <= 1 {
+        return vec![(0, len)];
+    }
+    let leaf = len.div_ceil(threads * 4).max(min_len).max(1);
+    (0..len).step_by(leaf).map(|lo| (lo, (lo + leaf).min(len))).collect()
+}
+
+/// Runs `body` on every leaf range (possibly in parallel) and returns the
+/// per-leaf results in leaf order.
+fn leaf_map<T, B>(len: usize, min_len: usize, body: &B) -> Vec<T>
+where
+    T: Send,
+    B: Fn(usize, usize) -> T + Sync,
+{
+    let ranges = leaf_ranges(len, min_len);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(ranges.len());
+    slots.resize_with(ranges.len(), || None);
+    fill_slots(&ranges, &mut slots, body);
+    slots.into_iter().map(|s| s.expect("parallel leaf never executed")).collect()
+}
+
+/// Binary fork-join over the leaf list; each leaf writes its own slot.
+fn fill_slots<T, B>(ranges: &[(usize, usize)], slots: &mut [Option<T>], body: &B)
+where
+    T: Send,
+    B: Fn(usize, usize) -> T + Sync,
+{
+    match ranges.len() {
+        0 => {}
+        1 => slots[0] = Some(body(ranges[0].0, ranges[0].1)),
+        n => {
+            let mid = n / 2;
+            let (r1, r2) = ranges.split_at(mid);
+            let (s1, s2) = slots.split_at_mut(mid);
+            crate::join(|| fill_slots(r1, s1, body), || fill_slots(r2, s2, body));
+        }
+    }
+}
+
+// --- core traits -------------------------------------------------------------
+
+/// A parallel iterator: an indexed sequence whose sub-ranges can be driven
+/// serially on any pool thread. `Sync` because terminal ops share `&self`
+/// across workers.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item type.
+    type Item: Send;
+
+    /// Number of items (for [`Filter`], the pre-filter upper bound used
+    /// only to split work).
+    fn par_len(&self) -> usize;
+
+    /// Feeds items `lo..hi` (indices into the *base* sequence) to
+    /// `consumer`, in index order. Disjoint ranges may be driven
+    /// concurrently from different threads.
+    fn drive<C>(&self, lo: usize, hi: usize, consumer: &mut C)
+    where
+        C: FnMut(Self::Item);
+
+    /// Smallest worthwhile per-leaf item count (see [`with_min_len`]).
+    ///
+    /// [`with_min_len`]: ParallelIterator::with_min_len
+    fn min_len_hint(&self) -> usize {
+        1
+    }
+
+    /// Applies `f` to every item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps items where `f` is true.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, f }
+    }
+
+    /// `(index, item)` pairs (for chunked sources the index is the chunk
+    /// index, as in rayon).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Pairs with another indexed parallel iterator, truncating to the
+    /// shorter length.
+    fn zip<Z>(self, other: Z) -> Zip<Self, Z>
+    where
+        Self: IndexedParallelIterator,
+        Z: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Requires at least `min` items per work unit — coarsens stealing
+    /// granularity for cheap per-item bodies.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        leaf_map(self.par_len(), self.min_len_hint(), &|lo, hi| {
+            self.drive(lo, hi, &mut |item| f(item));
+        });
+    }
+
+    /// rayon-shaped fold: lazily describes per-leaf accumulators built
+    /// with `fold_op` from `identity()`; consume with
+    /// [`FoldedParIter::reduce`].
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> FoldedParIter<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        FoldedParIter { base: self, identity, fold_op }
+    }
+
+    /// Collects into any `FromIterator` container, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let parts = leaf_map(self.par_len(), self.min_len_hint(), &|lo, hi| {
+            let mut buf = Vec::with_capacity(hi - lo);
+            self.drive(lo, hi, &mut |item| buf.push(item));
+            buf
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Sums the items (`S: Sum<S>` combines the per-leaf partial sums).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let parts = leaf_map(self.par_len(), self.min_len_hint(), &|lo, hi| {
+            let mut buf = Vec::with_capacity(hi - lo);
+            self.drive(lo, hi, &mut |item| buf.push(item));
+            buf.into_iter().sum::<S>()
+        });
+        parts.into_iter().sum()
+    }
+
+    /// Counts the items (after any [`filter`]).
+    ///
+    /// [`filter`]: ParallelIterator::filter
+    fn count(self) -> usize {
+        leaf_map(self.par_len(), self.min_len_hint(), &|lo, hi| {
+            let mut n = 0usize;
+            self.drive(lo, hi, &mut |_| n += 1);
+            n
+        })
+        .into_iter()
+        .sum()
+    }
+}
+
+/// A parallel iterator with O(1) random access to any item — what `zip`
+/// needs to pair two sequences without buffering either.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// The item at `index`. Terminal drivers call this at most once per
+    /// index (mutable sources hand out disjoint `&mut`s on that contract).
+    fn item_at(&self, index: usize) -> Self::Item;
+}
+
+/// Conversion into a parallel iterator (ranges, `Vec`; parallel iterators
+/// pass through unchanged in real rayon's blanket impl — the shim's `zip`
+/// takes them directly).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+// --- slice sources -----------------------------------------------------------
+
+/// Borrowing parallel iterator over `&[T]` (`par_iter`).
+pub struct SliceIter<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.s.len()
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        for item in &self.s[lo..hi] {
+            consumer(item);
+        }
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for SliceIter<'_, T> {
+    fn item_at(&self, index: usize) -> Self::Item {
+        &self.s[index]
+    }
+}
+
+/// Parallel iterator over non-overlapping sub-slices (`par_chunks`).
+pub struct SliceChunks<'a, T> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceChunks<'a, T> {
+    type Item = &'a [T];
+    fn par_len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        for i in lo..hi {
+            consumer(self.item_at(i));
+        }
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for SliceChunks<'_, T> {
+    fn item_at(&self, index: usize) -> Self::Item {
+        let start = index * self.size;
+        &self.s[start..(start + self.size).min(self.s.len())]
+    }
+}
+
+/// Mutable parallel iterator over `&mut [T]` (`par_iter_mut`). Stored as a
+/// raw base pointer so disjoint index ranges can be driven from different
+/// threads; the leaf driver guarantees disjointness.
+pub struct SliceIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SliceIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        for i in lo..hi {
+            consumer(self.item_at(i));
+        }
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for SliceIterMut<'_, T> {
+    // Sound per the `item_at` contract: each index is claimed by exactly
+    // one leaf range, so the `&mut`s handed out never alias.
+    #[allow(clippy::mut_from_ref)]
+    fn item_at(&self, index: usize) -> Self::Item {
+        assert!(index < self.len);
+        unsafe { &mut *self.ptr.add(index) }
+    }
+}
+
+/// Mutable parallel iterator over non-overlapping sub-slices
+/// (`par_chunks_mut`) — the GEMM row-band workhorse.
+pub struct SliceChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SliceChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for SliceChunksMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for SliceChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn par_len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        for i in lo..hi {
+            consumer(self.item_at(i));
+        }
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for SliceChunksMut<'_, T> {
+    // Sound per the `item_at` contract (disjoint chunks, each claimed by
+    // exactly one leaf).
+    #[allow(clippy::mut_from_ref)]
+    fn item_at(&self, index: usize) -> Self::Item {
+        let start = index * self.size;
+        assert!(start < self.len);
+        let n = self.size.min(self.len - start);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), n) }
+    }
+}
+
+/// `par_iter`/`par_chunks` on slices (and `Vec` via deref).
+pub trait ParallelSliceExt<T: Sync> {
+    /// Parallel shared iterator.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+    /// Parallel iterator over `size`-item chunks (last may be shorter).
+    fn par_chunks(&self, size: usize) -> SliceChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { s: self }
+    }
+    fn par_chunks(&self, size: usize) -> SliceChunks<'_, T> {
+        assert!(size != 0, "chunk size must be non-zero");
+        SliceChunks { s: self, size }
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on slices (and `Vec` via deref).
+pub trait ParallelSliceMutExt<T: Send> {
+    /// Parallel exclusive iterator.
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T>;
+    /// Parallel iterator over disjoint mutable `size`-item chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> SliceChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+        SliceIterMut { ptr: self.as_mut_ptr(), len: self.len(), _marker: PhantomData }
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> SliceChunksMut<'_, T> {
+        assert!(size != 0, "chunk size must be non-zero");
+        SliceChunksMut { ptr: self.as_mut_ptr(), len: self.len(), size, _marker: PhantomData }
+    }
+}
+
+// --- range / vec sources -----------------------------------------------------
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangePar {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangePar {
+    type Item = usize;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        for i in lo..hi {
+            consumer(self.start + i);
+        }
+    }
+}
+
+impl IndexedParallelIterator for RangePar {
+    fn item_at(&self, index: usize) -> Self::Item {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangePar;
+    type Item = usize;
+    fn into_par_iter(self) -> RangePar {
+        RangePar { start: self.start, len: self.end.saturating_sub(self.start) }
+    }
+}
+
+/// Owning parallel iterator over a `Vec` (`vec.into_par_iter()`). Items
+/// are moved out by raw read — the leaf driver consumes each index exactly
+/// once; a panic mid-drive leaks the unconsumed items (safe, like rayon
+/// aborting a consumer).
+pub struct VecPar<T> {
+    items: std::mem::ManuallyDrop<Vec<T>>,
+}
+
+unsafe impl<T: Send> Send for VecPar<T> {}
+unsafe impl<T: Send> Sync for VecPar<T> {}
+
+impl<T> Drop for VecPar<T> {
+    fn drop(&mut self) {
+        // Free the buffer without double-dropping moved-out items.
+        unsafe {
+            self.items.set_len(0);
+            std::mem::ManuallyDrop::drop(&mut self.items);
+        }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecPar<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        for i in lo..hi {
+            consumer(unsafe { std::ptr::read(self.items.as_ptr().add(i)) });
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { items: std::mem::ManuallyDrop::new(self) }
+    }
+}
+
+// --- adapters ----------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        let f = &self.f;
+        self.base.drive(lo, hi, &mut |item| consumer(f(item)));
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+impl<P, R, F> IndexedParallelIterator for Map<P, F>
+where
+    P: IndexedParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    fn item_at(&self, index: usize) -> Self::Item {
+        (self.f)(self.base.item_at(index))
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync,
+{
+    type Item = P::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        let f = &self.f;
+        self.base.drive(lo, hi, &mut |item| {
+            if f(&item) {
+                consumer(item);
+            }
+        });
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        let mut index = lo;
+        self.base.drive(lo, hi, &mut |item| {
+            consumer((index, item));
+            index += 1;
+        });
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+impl<P: IndexedParallelIterator> IndexedParallelIterator for Enumerate<P> {
+    fn item_at(&self, index: usize) -> Self::Item {
+        (index, self.base.item_at(index))
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        for i in lo..hi {
+            consumer((self.a.item_at(i), self.b.item_at(i)));
+        }
+    }
+    fn min_len_hint(&self) -> usize {
+        self.a.min_len_hint().max(self.b.min_len_hint())
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    fn item_at(&self, index: usize) -> Self::Item {
+        (self.a.item_at(index), self.b.item_at(index))
+    }
+}
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn drive<C: FnMut(Self::Item)>(&self, lo: usize, hi: usize, consumer: &mut C) {
+        self.base.drive(lo, hi, consumer);
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint().max(self.min)
+    }
+}
+
+impl<P: IndexedParallelIterator> IndexedParallelIterator for MinLen<P> {
+    fn item_at(&self, index: usize) -> Self::Item {
+        self.base.item_at(index)
+    }
+}
+
+// --- fold / reduce -----------------------------------------------------------
+
+/// Lazy result of [`ParallelIterator::fold`]: per-leaf accumulators,
+/// realised by [`reduce`](FoldedParIter::reduce).
+pub struct FoldedParIter<P, ID, F> {
+    base: P,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<A, P, ID, F> FoldedParIter<P, ID, F>
+where
+    A: Send,
+    P: ParallelIterator,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, P::Item) -> A + Sync,
+{
+    /// Folds every leaf serially (index order, one accumulator per leaf)
+    /// and combines the leaf accumulators with `op` **in leaf order** —
+    /// deterministic for a fixed pool size. Serial pools produce exactly
+    /// one accumulator and never invoke `op`; an empty input returns
+    /// `identity()`.
+    pub fn reduce<ID2, OP>(self, identity: ID2, op: OP) -> A
+    where
+        ID2: Fn() -> A + Sync,
+        OP: Fn(A, A) -> A + Sync,
+    {
+        let accs = leaf_map(self.base.par_len(), self.base.min_len_hint(), &|lo, hi| {
+            let mut acc = Some((self.identity)());
+            self.base.drive(lo, hi, &mut |item| {
+                let a = acc.take().expect("fold accumulator in use");
+                acc = Some((self.fold_op)(a, item));
+            });
+            acc.expect("fold accumulator missing")
+        });
+        accs.into_iter().reduce(op).unwrap_or_else(identity)
+    }
+}

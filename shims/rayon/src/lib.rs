@@ -1,163 +1,54 @@
-//! Offline **serial** shim for the `rayon` API subset used by this
-//! workspace. The container exposes a single hardware thread, so every
-//! `par_*` combinator maps to the equivalent serial iterator with rayon's
-//! method signatures (`fold(identity_fn, op)`, `reduce(identity_fn, op)`,
-//! …). Swapping the real rayon back in requires no call-site changes.
+//! Offline shim for the `rayon` API subset used by this workspace, backed
+//! by a **real fixed-size work-stealing thread pool** (see [`pool`] module
+//! docs for the architecture). The global pool is sized by the
+//! `SEQREC_THREADS` environment variable, falling back to the machine's
+//! available parallelism; at 1 thread everything runs inline on the
+//! calling thread — the guaranteed serial mode whose results are
+//! bit-identical to the serial shim this replaced.
+//!
+//! Determinism contract: parallel `fold`/`reduce`/`collect`/`sum` combine
+//! per-leaf results in a fixed leaf order, and the leaf partition depends
+//! only on input length, pool size and `min_len` — never on stealing
+//! order. Results are therefore reproducible run-to-run for a fixed
+//! `SEQREC_THREADS`, and exactly serial at 1 thread.
+//!
+//! Swapping the genuine rayon back in (delete the `[patch.crates-io]`
+//! entry on a networked machine) requires no call-site changes: every
+//! method here mirrors rayon's name, shape and bounds for the surface the
+//! workspace uses.
 
-/// Everything call sites need: extension traits and [`ParIter`].
+mod iter;
+mod pool;
+
+pub use iter::{
+    Enumerate, Filter, FoldedParIter, IndexedParallelIterator, IntoParallelIterator, Map, MinLen,
+    ParallelIterator, ParallelSliceExt, ParallelSliceMutExt, RangePar, SliceChunks, SliceChunksMut,
+    SliceIter, SliceIterMut, VecPar, Zip,
+};
+#[doc(hidden)]
+pub use pool::pin_global_pool_size;
+pub use pool::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
+
+/// Everything call sites need: the iterator traits and slice extensions.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParIter, ParallelSliceExt, ParallelSliceMutExt};
-}
-
-/// Serial stand-in for a rayon parallel iterator: wraps a std iterator and
-/// offers rayon-shaped combinators.
-pub struct ParIter<I>(I);
-
-impl<I: Iterator> ParIter<I> {
-    /// `(index, item)` pairs.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    /// Applies `f` to every item.
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    /// Keeps items where `f` is true.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
-    }
-
-    /// Pairs with another (into-)parallel iterator.
-    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>> {
-        ParIter(self.0.zip(other.into_par_iter().0))
-    }
-
-    /// Runs `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// rayon-shaped fold: produces a (single-element) iterator of per-thread
-    /// accumulators — serially, exactly one.
-    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<A>>
-    where
-        ID: Fn() -> A,
-        F: FnMut(A, I::Item) -> A,
-    {
-        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
-    }
-
-    /// rayon-shaped reduce: folds all items with `op`, starting from
-    /// `identity()` when empty.
-    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.reduce(op).unwrap_or_else(identity)
-    }
-
-    /// Collects into any `FromIterator` container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Sums the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Counts the items.
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-
-    /// Hint accepted for API compatibility; no-op serially.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-}
-
-impl<I: Iterator> IntoIterator for ParIter<I> {
-    type Item = I::Item;
-    type IntoIter = I;
-    fn into_iter(self) -> I {
-        self.0
-    }
-}
-
-/// Conversion into a [`ParIter`]; blanket-implemented for every
-/// `IntoIterator` (ranges, `Vec`, adaptors, and `ParIter` itself).
-pub trait IntoParallelIterator {
-    /// The underlying serial iterator.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item;
-    /// Wraps into the rayon-shaped iterator.
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
-    type Item = T::Item;
-    fn into_par_iter(self) -> ParIter<T::IntoIter> {
-        ParIter(self.into_iter())
-    }
-}
-
-/// `par_iter`/`par_chunks` on slices (and `Vec` via deref).
-pub trait ParallelSliceExt<T> {
-    /// Serial stand-in for `rayon`'s `par_iter`.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    /// Serial stand-in for `rayon`'s `par_chunks`.
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-}
-
-impl<T> ParallelSliceExt<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
-    }
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(size))
-    }
-}
-
-/// `par_iter_mut`/`par_chunks_mut` on slices (and `Vec` via deref).
-pub trait ParallelSliceMutExt<T> {
-    /// Serial stand-in for `rayon`'s `par_iter_mut`.
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
-    /// Serial stand-in for `rayon`'s `par_chunks_mut`.
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-}
-
-impl<T> ParallelSliceMutExt<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter(self.iter_mut())
-    }
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(size))
-    }
-}
-
-/// Serial `rayon::join`: runs `a` then `b`.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// The shim is always single-threaded.
-pub fn current_num_threads() -> usize {
-    1
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSliceExt,
+        ParallelSliceMutExt,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    /// A 4-worker pool shared by the multithreading tests (explicit pools
+    /// keep these tests independent of the global pool's size, which on a
+    /// 1-core container is serial).
+    fn pool4() -> super::ThreadPool {
+        super::ThreadPoolBuilder::new().num_threads(4).build().expect("pool builds")
+    }
 
     #[test]
     fn par_chunks_mut_matches_serial() {
@@ -189,5 +80,106 @@ mod tests {
         assert_eq!(s, 285);
         let v: Vec<i32> = vec![3, 1, 2].into_par_iter().collect();
         assert_eq!(v, [3, 1, 2]);
+    }
+
+    #[test]
+    fn install_runs_on_a_named_worker_and_sizes_the_pool() {
+        let pool = pool4();
+        let (name, threads) = pool.install(|| {
+            (std::thread::current().name().map(str::to_string), super::current_num_threads())
+        });
+        assert_eq!(threads, 4);
+        let name = name.expect("pool workers are named");
+        assert!(name.starts_with("seqrec-worker-"), "unexpected worker name {name}");
+    }
+
+    #[test]
+    fn join_really_uses_multiple_threads() {
+        // With 4 workers and enough nested fan-out, at least two distinct
+        // OS threads must participate.
+        use std::sync::Mutex;
+        let seen: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
+        let record = || {
+            let id = std::thread::current().id();
+            let mut g = seen.lock().unwrap();
+            if !g.contains(&id) {
+                g.push(id);
+            }
+            drop(g);
+            // Give thieves a window to actually steal.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        };
+        pool4().install(|| {
+            super::join(|| super::join(record, record), || super::join(record, record));
+        });
+        assert!(seen.lock().unwrap().len() >= 2, "all joined work ran on one thread");
+    }
+
+    #[test]
+    fn parallel_results_match_serial_on_a_real_pool() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let serial: u64 = data.iter().map(|x| x * 3 + 1).sum();
+        let par: u64 = pool4().install(|| data.par_iter().map(|x| x * 3 + 1).sum());
+        assert_eq!(par, serial);
+
+        let par_count = pool4().install(|| data.par_iter().filter(|x| **x % 7 == 0).count());
+        assert_eq!(par_count, data.iter().filter(|x| **x % 7 == 0).count());
+
+        let collected: Vec<u64> = pool4().install(|| data.par_iter().map(|x| x + 1).collect());
+        assert_eq!(collected, data.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_is_deterministic_for_a_fixed_pool_size() {
+        // f32 summation order matters; the leaf partition (not stealing
+        // order) fixes it, so repeated runs must agree bit-for-bit.
+        let data: Vec<f32> = (0..4_321).map(|i| (i as f32).sin()).collect();
+        let pool = pool4();
+        let run = || {
+            pool.install(|| {
+                data.par_iter().fold(|| 0.0f32, |acc, &x| acc + x).reduce(|| 0.0f32, |a, b| a + b)
+            })
+        };
+        let first = run();
+        for _ in 0..5 {
+            assert_eq!(first.to_bits(), run().to_bits());
+        }
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_side() {
+        let pool = pool4();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| super::join(|| 1, || panic!("right side")));
+        }));
+        assert!(caught.is_err());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| super::join(|| panic!("left side"), || 2));
+        }));
+        assert!(caught.is_err());
+        // The pool survives panics: later work still completes.
+        assert_eq!(pool.install(|| super::join(|| 1, || 2)), (1, 2));
+    }
+
+    #[test]
+    fn scope_waits_for_spawns_that_borrow_the_stack() {
+        let mut results = vec![0usize; 8];
+        pool4().install(|| {
+            super::scope(|s| {
+                for (i, slot) in results.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = i * i);
+                }
+            });
+        });
+        assert_eq!(results, [0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn current_num_threads_reports_the_ambient_pool() {
+        let inside = pool4().install(super::current_num_threads);
+        assert_eq!(inside, 4);
+        // Outside any explicit pool we get the global pool's size, which
+        // is at least 1.
+        assert!(super::current_num_threads() >= 1);
     }
 }

@@ -1,0 +1,513 @@
+//! The fixed-size work-stealing thread pool behind the shim.
+//!
+//! Architecture (a deliberately small cousin of rayon-core):
+//!
+//! * A [`Registry`] owns one LIFO deque per worker plus a shared FIFO
+//!   injector for jobs arriving from threads outside the pool. Workers pop
+//!   their own deque from the back (depth-first, cache-friendly) and steal
+//!   from other deques / the injector from the front (breadth-first, which
+//!   takes the *oldest* — largest — stolen task).
+//! * Jobs are type-erased [`JobRef`]s: a raw pointer to a [`StackJob`]
+//!   living in the stack frame of the thread that called [`join`] (that
+//!   frame never returns before the job completes, so the pointer stays
+//!   valid), or to a heap job spawned into a [`Scope`].
+//! * Blocking is cooperative: a thread waiting in [`join`], [`scope`] or a
+//!   parallel-iterator barrier *helps* — it keeps executing queued jobs
+//!   until the one it waits for completes. Idle workers sleep on a condvar
+//!   with a timeout fallback, woken by every push.
+//! * The global pool is sized by `SEQREC_THREADS`, else the machine's
+//!   [`std::thread::available_parallelism`]. At 1 thread no workers are
+//!   spawned at all and `join` degenerates to `(a(), b())` inline — the
+//!   guaranteed serial mode that keeps seeded single-threaded runs
+//!   bit-identical to the old serial shim.
+//!
+//! Panics inside jobs are caught where they happen and resumed on the
+//! thread that waits for the result, matching rayon's contract.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking job must not silence the rest of the pool.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// --- jobs --------------------------------------------------------------------
+
+/// Type-erased pointer to a job. The queueing site guarantees the pointee
+/// outlives execution (stack jobs block in their frame; heap jobs own
+/// their allocation).
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// Jobs move between threads by construction; the pointee synchronises via
+// its completion flag.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn execute(self) {
+        (self.exec)(self.data);
+    }
+}
+
+/// A `join` job whose closure and result live on the creating thread's
+/// stack. The completion flag (`Release` store / `Acquire` load) orders
+/// the result write before the creator reads it.
+struct StackJob<F, R> {
+    func: std::cell::UnsafeCell<Option<F>>,
+    result: std::cell::UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> Self {
+        StackJob {
+            func: std::cell::UnsafeCell::new(Some(f)),
+            result: std::cell::UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef { data: std::ptr::from_ref(self).cast(), exec: Self::execute_erased }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let job = &*ptr.cast::<Self>();
+        let f = (*job.func.get()).take().expect("stack job executed twice");
+        let res = panic::catch_unwind(AssertUnwindSafe(f));
+        *job.result.get() = Some(res);
+        job.done.store(true, Ordering::Release);
+    }
+
+    fn done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn take_result(&self) -> std::thread::Result<R> {
+        unsafe { (*self.result.get()).take().expect("stack job result missing") }
+    }
+}
+
+/// A heap-allocated `Scope::spawn` job. Completion bookkeeping (panic
+/// capture + outstanding counter) goes through the scope pointer, which
+/// stays valid because `scope` blocks until the counter drains.
+struct HeapJob {
+    task: Option<Box<dyn FnOnce() + Send>>,
+    scope: *const (),
+    complete: unsafe fn(*const (), Option<Box<dyn Any + Send>>),
+}
+
+unsafe fn execute_heap(ptr: *const ()) {
+    let mut job = Box::from_raw(ptr.cast::<HeapJob>().cast_mut());
+    let task = job.task.take().expect("heap job executed twice");
+    let res = panic::catch_unwind(AssertUnwindSafe(task));
+    (job.complete)(job.scope, res.err());
+}
+
+// --- registry ----------------------------------------------------------------
+
+/// One pool: worker deques, the injector, and the sleep protocol.
+struct Registry {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep_mutex: Mutex<()>,
+    sleep_cvar: Condvar,
+    /// Jobs queued but not yet claimed. Checked under `sleep_mutex` before
+    /// sleeping so a push between "no work found" and "wait" cannot be
+    /// lost; the timeout below is a belt-and-braces fallback.
+    pending: AtomicUsize,
+    n_threads: usize,
+}
+
+thread_local! {
+    /// `(registry, worker index)` for pool worker threads; `None` on every
+    /// other thread (main, test harness, foreign pools' workers).
+    static WORKER: RefCell<Option<(Arc<Registry>, usize)>> = const { RefCell::new(None) };
+}
+
+impl Registry {
+    /// Builds a registry reporting `n_threads` and actually spawning
+    /// `spawn` OS workers (0 for the serial global pool).
+    fn new(n_threads: usize, spawn: usize, name_prefix: &str) -> Arc<Registry> {
+        let reg = Arc::new(Registry {
+            deques: (0..spawn).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep_mutex: Mutex::new(()),
+            sleep_cvar: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            n_threads,
+        });
+        for i in 0..spawn {
+            let r = Arc::clone(&reg);
+            std::thread::Builder::new()
+                .name(format!("{name_prefix}-{i}"))
+                .spawn(move || worker_loop(&r, i))
+                .expect("cannot spawn pool worker thread");
+        }
+        reg
+    }
+
+    /// The calling thread's worker index *in this registry*, if any.
+    fn worker_index_here(&self) -> Option<usize> {
+        WORKER.with(|w| {
+            w.borrow().as_ref().and_then(|(r, i)| std::ptr::eq(Arc::as_ptr(r), self).then_some(*i))
+        })
+    }
+
+    /// Queues a job: onto the caller's own deque when the caller is one of
+    /// this pool's workers, else onto the injector. Wakes sleepers.
+    fn push(&self, job: JobRef) {
+        match self.worker_index_here() {
+            Some(i) => lock(&self.deques[i]).push_back(job),
+            None => lock(&self.injector).push_back(job),
+        }
+        self.pending.fetch_add(1, Ordering::Release);
+        if !self.deques.is_empty() {
+            let _g = lock(&self.sleep_mutex);
+            self.sleep_cvar.notify_all();
+        }
+    }
+
+    /// Claims one job: own deque back (LIFO), then injector front, then
+    /// steals from the other deques' fronts (FIFO).
+    fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
+        if let Some(i) = me {
+            if let Some(j) = lock(&self.deques[i]).pop_back() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(j);
+            }
+        }
+        if let Some(j) = lock(&self.injector).pop_front() {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return Some(j);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let idx = (start + k) % n;
+            if me == Some(idx) {
+                continue;
+            }
+            if let Some(j) = lock(&self.deques[idx]).pop_front() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// Executes queued jobs until `done()` turns true (cooperative
+    /// blocking: never parks while the pool has runnable work).
+    fn help_until(&self, done: &dyn Fn() -> bool) {
+        let me = self.worker_index_here();
+        let mut spins = 0u32;
+        while !done() {
+            if let Some(job) = self.find_work(me) {
+                unsafe { job.execute() };
+                spins = 0;
+            } else if spins < 64 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn worker_loop(reg: &Arc<Registry>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(reg), index)));
+    loop {
+        if let Some(job) = reg.find_work(Some(index)) {
+            unsafe { job.execute() };
+        } else {
+            let g = lock(&reg.sleep_mutex);
+            if reg.pending.load(Ordering::Acquire) == 0 {
+                // Timeout guards against any lost wakeup; pushes normally
+                // notify under the same mutex, so this rarely expires.
+                drop(self_wait(&reg.sleep_cvar, g));
+            }
+        }
+    }
+}
+
+fn self_wait<'a>(cvar: &Condvar, g: MutexGuard<'a, ()>) -> MutexGuard<'a, ()> {
+    match cvar.wait_timeout(g, Duration::from_millis(10)) {
+        Ok((g, _)) => g,
+        Err(e) => e.into_inner().0,
+    }
+}
+
+// --- global pool -------------------------------------------------------------
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+static PINNED: AtomicUsize = AtomicUsize::new(0);
+
+fn resolve_global_threads() -> usize {
+    let pinned = PINNED.load(Ordering::Acquire);
+    if pinned > 0 {
+        return pinned;
+    }
+    if let Ok(v) = std::env::var("SEQREC_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!("ignoring invalid SEQREC_THREADS={v:?} (want a positive integer)"),
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn global_registry() -> Arc<Registry> {
+    Arc::clone(GLOBAL.get_or_init(|| {
+        let n = resolve_global_threads();
+        // At n == 1 spawn no workers at all: everything runs inline on the
+        // calling thread, guaranteeing bit-identity with a serial build.
+        Registry::new(n, if n > 1 { n } else { 0 }, "seqrec-worker")
+    }))
+}
+
+/// Forces the global pool to `n` threads. Must run before the first
+/// parallel call in the process; panics if the pool already initialised at
+/// a different size. Test-only knob (golden fixtures pin 1), hidden from
+/// the public API surface the production code mirrors from real rayon.
+#[doc(hidden)]
+pub fn pin_global_pool_size(n: usize) {
+    let n = n.max(1);
+    PINNED.store(n, Ordering::Release);
+    let reg = global_registry();
+    assert!(
+        reg.n_threads == n,
+        "global thread pool already initialised with {} threads (wanted {n}); \
+         pin the size before any parallel work runs",
+        reg.n_threads
+    );
+}
+
+/// The registry parallel work on this thread runs against: the owning
+/// pool for worker threads, the global pool for everyone else.
+fn current_registry() -> Arc<Registry> {
+    WORKER.with(|w| w.borrow().as_ref().map(|(r, _)| Arc::clone(r))).unwrap_or_else(global_registry)
+}
+
+/// Number of threads in the current thread's pool (the global pool unless
+/// called from inside [`ThreadPool::install`]). 1 means strictly serial.
+pub fn current_num_threads() -> usize {
+    current_registry().n_threads
+}
+
+// --- join --------------------------------------------------------------------
+
+/// Potentially-parallel `(a(), b())`: `b` is queued for stealing while the
+/// calling thread runs `a`, then helps execute queued work until `b`
+/// completes. At 1 thread this is exactly serial `(a(), b())`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let reg = current_registry();
+    if reg.n_threads <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let job_b = StackJob::new(oper_b);
+    reg.push(unsafe { job_b.as_job_ref() });
+    let ra = panic::catch_unwind(AssertUnwindSafe(oper_a));
+    reg.help_until(&|| job_b.done());
+    let rb = job_b.take_result();
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(p), _) | (_, Err(p)) => panic::resume_unwind(p),
+    }
+}
+
+// --- scope -------------------------------------------------------------------
+
+/// A fork-join scope: spawned tasks may borrow from the enclosing frame
+/// (`'scope`); [`scope`] does not return until all of them finish.
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    outstanding: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` on the pool. The closure may borrow `'scope` data; the
+    /// enclosing [`scope`] call blocks until every spawn completes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        let scope_ptr: *const Scope<'scope> = self;
+        // Raw pointers are not Send; this one is — it targets the stack
+        // frame `scope()` blocks in until every spawn completes.
+        struct SendScopePtr<'s>(*const Scope<'s>);
+        unsafe impl Send for SendScopePtr<'_> {}
+        let p = SendScopePtr(scope_ptr);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let p = p;
+            f(unsafe { &*p.0 })
+        });
+        // Erase 'scope: the scope outlives the job because `scope()` only
+        // returns once `outstanding` drains back to zero.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
+            std::mem::transmute::<
+                Box<dyn FnOnce() + Send + 'scope>,
+                Box<dyn FnOnce() + Send + 'static>,
+            >(task)
+        };
+        let job = Box::new(HeapJob {
+            task: Some(task),
+            scope: scope_ptr.cast(),
+            complete: Self::complete_erased,
+        });
+        let job_ref = JobRef { data: Box::into_raw(job).cast_const().cast(), exec: execute_heap };
+        self.registry.push(job_ref);
+    }
+
+    unsafe fn complete_erased(ptr: *const (), panic_payload: Option<Box<dyn Any + Send>>) {
+        let scope = &*ptr.cast::<Scope<'scope>>();
+        if let Some(p) = panic_payload {
+            let mut slot = lock(&scope.panic);
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+        // Release-orders the panic store before the waiter's Acquire load.
+        scope.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Runs `f` with a [`Scope`] handle and waits (helping) for every spawned
+/// task. The first panic — from `f` itself or any spawn — is resumed here.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let registry = current_registry();
+    let s = Scope {
+        registry: Arc::clone(&registry),
+        outstanding: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        _marker: PhantomData,
+    };
+    let res = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+    registry.help_until(&|| s.outstanding.load(Ordering::Acquire) == 0);
+    let spawned_panic = lock(&s.panic).take();
+    match res {
+        Err(p) => panic::resume_unwind(p),
+        Ok(r) => {
+            if let Some(p) = spawned_panic {
+                panic::resume_unwind(p);
+            }
+            r
+        }
+    }
+}
+
+// --- explicit pools ----------------------------------------------------------
+
+/// Error building a [`ThreadPool`] (mirrors rayon's opaque error type;
+/// construction here cannot actually fail short of OS thread exhaustion,
+/// which panics instead).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicit [`ThreadPool`] independent of the global one
+/// (tests use it to force a multi-worker pool on any machine).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// An empty builder (pool sized like the global default).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the worker count (0 = the global default sizing).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Spawns the pool.
+    ///
+    /// # Errors
+    /// Never fails in this shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { resolve_global_threads() } else { self.num_threads };
+        // Explicit pools always spawn real workers, even at n == 1:
+        // `install` runs its closure *on* a worker.
+        Ok(ThreadPool { registry: Registry::new(n, n, "seqrec-worker") })
+    }
+}
+
+/// An explicitly-constructed pool. Worker threads live for the process
+/// lifetime (the shim never tears pools down; tests build a handful at
+/// most).
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+}
+
+impl ThreadPool {
+    /// Runs `op` on one of this pool's workers and returns its result.
+    /// Parallel calls inside `op` (`join`, `par_iter`, …) use this pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let job = StackJob::new(op);
+        lock(&self.registry.injector).push_back(unsafe { job.as_job_ref() });
+        self.registry.pending.fetch_add(1, Ordering::Release);
+        {
+            let _g = lock(&self.registry.sleep_mutex);
+            self.registry.sleep_cvar.notify_all();
+        }
+        // Deliberately do NOT help: `op` must run on a pool worker so that
+        // nested parallel calls see this pool, not the caller's.
+        while !job.done() {
+            std::thread::yield_now();
+        }
+        match job.take_result() {
+            Ok(r) => r,
+            Err(p) => panic::resume_unwind(p),
+        }
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.n_threads
+    }
+}
