@@ -10,13 +10,15 @@
 use rayon::prelude::*;
 use seqrec_data::batch::{epoch_batches, pad_left};
 use seqrec_data::Split;
-use seqrec_eval::SequenceScorer;
+use seqrec_eval::{SequenceScorer, StatefulScorer};
+use seqrec_models::checkpoint::{self, CheckpointError, Checkpointable, TensorData};
 use seqrec_models::common::{
     AnomalyPolicy, AnomalyReport, EarlyStopper, EpochClock, FitSession, TrainOptions, TrainReport,
 };
 use seqrec_models::dp;
 use seqrec_models::encoder::EncoderConfig;
 use seqrec_models::sasrec::SasRec;
+use seqrec_obs::json::Value as JsonValue;
 use seqrec_tensor::init::{rng, TensorRng};
 use seqrec_tensor::nn::{HasParams, Linear, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig};
@@ -588,6 +590,53 @@ impl SequenceScorer for Cl4sRec {
     }
     fn score_full_catalog(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
         self.sasrec.score_full_catalog(users, inputs)
+    }
+}
+
+impl Checkpointable for Cl4sRec {
+    const KIND: &'static str = "cl4srec";
+    fn manifest_config(&self) -> String {
+        serde_json::to_string(self.config()).expect("config serializes")
+    }
+    fn snapshot(&self) -> Vec<TensorData> {
+        checkpoint::snapshot_params(self)
+    }
+    fn from_manifest_config(cfg: &JsonValue) -> Result<Self, CheckpointError> {
+        let enc = cfg
+            .get("encoder")
+            .ok_or_else(|| CheckpointError::Format("manifest missing \"encoder\"".into()))?;
+        let get = |v: &JsonValue, key: &str| {
+            v.get(key).and_then(JsonValue::as_f64).ok_or_else(|| {
+                CheckpointError::Format(format!("manifest field {key:?} is not a number"))
+            })
+        };
+        let cfg = Cl4sRecConfig {
+            encoder: EncoderConfig {
+                num_items: get(enc, "num_items")? as usize,
+                d: get(enc, "d")? as usize,
+                heads: get(enc, "heads")? as usize,
+                layers: get(enc, "layers")? as usize,
+                max_len: get(enc, "max_len")? as usize,
+                dropout: get(enc, "dropout")? as f32,
+            },
+            tau: get(cfg, "tau")? as f32,
+        };
+        Ok(Cl4sRec::new(cfg, 0))
+    }
+    fn restore(&mut self, tensors: Vec<TensorData>) -> Result<(), CheckpointError> {
+        checkpoint::restore_params(self, tensors)
+    }
+}
+
+impl StatefulScorer for Cl4sRec {
+    fn state_dim(&self) -> usize {
+        self.sasrec.state_dim()
+    }
+    fn encode_users(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<f32> {
+        self.sasrec.encode_users(users, inputs)
+    }
+    fn score_states(&self, states: &[f32]) -> Vec<Vec<f32>> {
+        self.sasrec.score_states(states)
     }
 }
 

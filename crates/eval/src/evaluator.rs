@@ -19,6 +19,33 @@ pub trait SequenceScorer {
     fn score_full_catalog(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>>;
 }
 
+/// Scoring factored into a cacheable per-user **encoder state** and a
+/// state-to-catalog scoring step.
+///
+/// The serving stack (`seqrec-serve`) caches `encode_users` output per user
+/// and re-scores from the cached rows, so the two halves must compose to
+/// exactly the plain scorer: for every implementor,
+/// `score_states(&encode_users(users, inputs))` is **bit-identical** to
+/// `score_full_catalog(users, inputs)` — and each state row must not depend
+/// on which other users shared the encode batch (the GEMM engine's
+/// row-batch invariance, `seqrec-tensor/tests/row_invariance.rs`, makes
+/// that hold through the encoders). `tests/serve_parity.rs` pins both
+/// properties for every model in the zoo.
+pub trait StatefulScorer: SequenceScorer {
+    /// Scalars per user state row (≥ 1 so callers can recover the row
+    /// count from a flat state buffer).
+    fn state_dim(&self) -> usize;
+
+    /// Encodes each `(user, history)` pair into one state row; returns the
+    /// rows concatenated: `inputs.len() * state_dim()` scalars.
+    fn encode_users(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<f32>;
+
+    /// Scores previously encoded state rows against the full catalog; one
+    /// `num_items() + 1` score vector per row, same layout as
+    /// [`SequenceScorer::score_full_catalog`].
+    fn score_states(&self, states: &[f32]) -> Vec<Vec<f32>>;
+}
+
 /// Which held-out item to predict.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EvalTarget {

@@ -15,6 +15,6 @@ pub mod evaluator;
 pub mod metrics;
 pub mod report;
 
-pub use evaluator::{evaluate, EvalOptions, EvalTarget, SequenceScorer};
+pub use evaluator::{evaluate, EvalOptions, EvalTarget, SequenceScorer, StatefulScorer};
 pub use metrics::{rank_of_target, MetricsAccumulator, RankingMetrics, PAPER_KS};
 pub use report::{stats_markdown, DatasetResults};

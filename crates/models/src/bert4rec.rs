@@ -12,11 +12,11 @@
 use rand::Rng;
 use seqrec_data::batch::{epoch_batches, pad_left};
 use seqrec_data::Split;
-use seqrec_eval::SequenceScorer;
+use seqrec_eval::{SequenceScorer, StatefulScorer};
 use seqrec_tensor::init::{rng, TensorRng};
 use seqrec_tensor::nn::{HasParams, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig};
-use seqrec_tensor::{linalg, Var};
+use seqrec_tensor::{linalg, Tensor, Var};
 use serde::{Deserialize, Serialize};
 
 use crate::common::{EarlyStopper, EpochClock, FitSession, TrainOptions, TrainReport};
@@ -54,6 +54,11 @@ impl Bert4Rec {
     /// The `[mask]` token id.
     pub fn mask_token(&self) -> u32 {
         self.cfg.encoder.mask_token()
+    }
+
+    /// The hyper-parameters this model was built with.
+    pub fn config(&self) -> &Bert4RecConfig {
+        &self.cfg
     }
 
     /// Cloze loss over one batch of raw training sequences: mask a random
@@ -195,7 +200,18 @@ impl SequenceScorer for Bert4Rec {
     fn num_items(&self) -> usize {
         self.cfg.encoder.num_items
     }
-    fn score_full_catalog(&self, _users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+    fn score_full_catalog(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+        self.score_states(&self.encode_users(users, inputs))
+    }
+}
+
+impl StatefulScorer for Bert4Rec {
+    /// State row = the bidirectional encoder's output at the appended
+    /// prediction `[mask]` position, `[d]`.
+    fn state_dim(&self) -> usize {
+        self.cfg.encoder.d
+    }
+    fn encode_users(&self, _users: &[usize], inputs: &[&[u32]]) -> Vec<f32> {
         let t = self.cfg.encoder.max_len;
         let mut ids = Vec::with_capacity(inputs.len() * t);
         let mut valid = Vec::with_capacity(inputs.len());
@@ -212,8 +228,12 @@ impl SequenceScorer for Bert4Rec {
         let mut r = rng(0);
         let hidden = self.encoder.encode_bidirectional(&mut step, &ids, &valid, false, &mut r);
         let repr = step.tape.last_time(hidden);
-        let repr_val = step.tape.value(repr).clone();
-        let scores = linalg::matmul_nt(&repr_val, self.encoder.item_embedding().table().value());
+        step.tape.value(repr).data().to_vec()
+    }
+    fn score_states(&self, states: &[f32]) -> Vec<Vec<f32>> {
+        let d = self.cfg.encoder.d;
+        let repr = Tensor::from_vec([states.len() / d, d], states.to_vec());
+        let scores = linalg::matmul_nt(&repr, self.encoder.item_embedding().table().value());
         let keep = self.cfg.encoder.num_items + 1;
         scores.data().chunks(self.cfg.encoder.vocab()).map(|row| row[..keep].to_vec()).collect()
     }

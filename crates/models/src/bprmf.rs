@@ -8,7 +8,7 @@ use std::collections::HashSet;
 
 use seqrec_data::batch::{epoch_batches, NegativeSampler};
 use seqrec_data::Split;
-use seqrec_eval::SequenceScorer;
+use seqrec_eval::{SequenceScorer, StatefulScorer};
 use seqrec_tensor::init::{self, rng};
 use seqrec_tensor::nn::{HasParams, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig};
@@ -60,6 +60,16 @@ impl BprMf {
     /// used to warm-start SASRec_BPR.
     pub fn item_factors(&self) -> &Tensor {
         self.item_emb.value()
+    }
+
+    /// The hyper-parameters this model was built with.
+    pub fn config(&self) -> &BprMfConfig {
+        &self.cfg
+    }
+
+    /// Number of users the embedding table covers.
+    pub fn num_users(&self) -> usize {
+        self.num_users
     }
 
     /// Mean BPR loss over a batch of `(user, positive, negative)` triples.
@@ -196,15 +206,28 @@ impl SequenceScorer for BprMf {
     fn num_items(&self) -> usize {
         self.num_items
     }
-    fn score_full_catalog(&self, users: &[usize], _inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+    fn score_full_catalog(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+        self.score_states(&self.encode_users(users, inputs))
+    }
+}
+
+impl StatefulScorer for BprMf {
+    fn state_dim(&self) -> usize {
+        self.cfg.d
+    }
+    fn encode_users(&self, users: &[usize], _inputs: &[&[u32]]) -> Vec<f32> {
         let d = self.cfg.d;
-        // Gather the queried user rows, then one matmul against the factors.
+        // Gather the queried user rows; the matmul happens in score_states.
         let mut u_rows = Vec::with_capacity(users.len() * d);
         for &u in users {
             assert!(u < self.num_users, "unknown user {u}");
             u_rows.extend_from_slice(&self.user_emb.value().data()[u * d..(u + 1) * d]);
         }
-        let u_mat = Tensor::from_vec([users.len(), d], u_rows);
+        u_rows
+    }
+    fn score_states(&self, states: &[f32]) -> Vec<Vec<f32>> {
+        let d = self.cfg.d;
+        let u_mat = Tensor::from_vec([states.len() / d, d], states.to_vec());
         let scores = linalg::matmul_nt(&u_mat, self.item_emb.value());
         scores.data().chunks(self.num_items + 1).map(<[f32]>::to_vec).collect()
     }

@@ -11,7 +11,7 @@ use std::collections::HashSet;
 
 use seqrec_data::batch::{epoch_batches, pad_left, NegativeSampler};
 use seqrec_data::Split;
-use seqrec_eval::SequenceScorer;
+use seqrec_eval::{SequenceScorer, StatefulScorer};
 use seqrec_tensor::init::{self, rng, TensorRng};
 use seqrec_tensor::nn::{Embedding, HasParams, Linear, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig};
@@ -101,6 +101,16 @@ impl Caser {
             Param::new("caser.out_w", init::normal([cfg.num_items + 1, 2 * d], 0.05, &mut r));
         let out_b = Param::new("caser.out_b", Tensor::zeros([cfg.num_items + 1]));
         Caser { cfg, item_emb, user_emb, h_filters, v_filters, fc, out_w, out_b, num_users }
+    }
+
+    /// The hyper-parameters this model was built with.
+    pub fn config(&self) -> &CaserConfig {
+        &self.cfg
+    }
+
+    /// Number of users the embedding table covers.
+    pub fn num_users(&self) -> usize {
+        self.num_users
     }
 
     /// The convolutional sequence feature `z` joined with the user
@@ -319,6 +329,17 @@ impl SequenceScorer for Caser {
         self.cfg.num_items
     }
     fn score_full_catalog(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+        self.score_states(&self.encode_users(users, inputs))
+    }
+}
+
+impl StatefulScorer for Caser {
+    /// State row = the `[2d]` joint representation (conv features ++ user
+    /// embedding) feeding the output layer.
+    fn state_dim(&self) -> usize {
+        2 * self.cfg.d
+    }
+    fn encode_users(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<f32> {
         assert_eq!(users.len(), inputs.len());
         let l = self.cfg.window;
         let mut ids = Vec::with_capacity(users.len() * l);
@@ -333,8 +354,12 @@ impl SequenceScorer for Caser {
         let mut step = Step::new();
         let mut r = rng(0);
         let repr = self.joint_repr(&mut step, &ids, &u_ids, false, &mut r);
-        let repr_val = step.tape.value(repr).clone();
-        let scores = linalg::matmul_nt(&repr_val, self.out_w.value());
+        step.tape.value(repr).data().to_vec()
+    }
+    fn score_states(&self, states: &[f32]) -> Vec<Vec<f32>> {
+        let dim = 2 * self.cfg.d;
+        let repr = Tensor::from_vec([states.len() / dim, dim], states.to_vec());
+        let scores = linalg::matmul_nt(&repr, self.out_w.value());
         let v = self.cfg.num_items + 1;
         scores
             .data()

@@ -13,7 +13,7 @@ use std::collections::HashSet;
 
 use seqrec_data::batch::{epoch_batches, NegativeSampler};
 use seqrec_data::Split;
-use seqrec_eval::SequenceScorer;
+use seqrec_eval::{SequenceScorer, StatefulScorer};
 use seqrec_tensor::init::{self, rng};
 use seqrec_tensor::nn::{HasParams, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig};
@@ -67,6 +67,16 @@ impl Fpmc {
             num_users,
             num_items,
         }
+    }
+
+    /// The hyper-parameters this model was built with.
+    pub fn config(&self) -> &FpmcConfig {
+        &self.cfg
+    }
+
+    /// Number of users the embedding table covers.
+    pub fn num_users(&self) -> usize {
+        self.num_users
     }
 
     /// Mean BPR loss over a batch of `(user, previous item, positive,
@@ -220,22 +230,42 @@ impl SequenceScorer for Fpmc {
         self.num_items
     }
     fn score_full_catalog(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+        self.score_states(&self.encode_users(users, inputs))
+    }
+}
+
+impl StatefulScorer for Fpmc {
+    /// State row = user factor (`d`) followed by last-item factor (`d`).
+    fn state_dim(&self) -> usize {
+        2 * self.cfg.d
+    }
+    fn encode_users(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<f32> {
         assert_eq!(users.len(), inputs.len());
         let d = self.cfg.d;
-        let v = self.num_items + 1;
-        // MF part: user rows × item_iu; MC part: last-item rows × item_il.
-        let mut u_rows = Vec::with_capacity(users.len() * d);
-        let mut l_rows = Vec::with_capacity(users.len() * d);
+        let mut states = Vec::with_capacity(users.len() * 2 * d);
         for (&u, seq) in users.iter().zip(inputs) {
             assert!(u < self.num_users, "unknown user {u}");
-            u_rows.extend_from_slice(&self.user_ui.value().data()[u * d..(u + 1) * d]);
+            states.extend_from_slice(&self.user_ui.value().data()[u * d..(u + 1) * d]);
             let last = seq.last().copied().unwrap_or(0) as usize;
-            l_rows.extend_from_slice(&self.last_li.value().data()[last * d..(last + 1) * d]);
+            states.extend_from_slice(&self.last_li.value().data()[last * d..(last + 1) * d]);
         }
-        let mf =
-            linalg::matmul_nt(&Tensor::from_vec([users.len(), d], u_rows), self.item_iu.value());
-        let mc =
-            linalg::matmul_nt(&Tensor::from_vec([users.len(), d], l_rows), self.item_il.value());
+        states
+    }
+    fn score_states(&self, states: &[f32]) -> Vec<Vec<f32>> {
+        let d = self.cfg.d;
+        let v = self.num_items + 1;
+        let b = states.len() / (2 * d);
+        // De-interleave into the MF (user × item_iu) and MC (last-item ×
+        // item_il) operands — two matmuls plus an elementwise add, exactly
+        // the structure the evaluator path has always used.
+        let mut u_rows = Vec::with_capacity(b * d);
+        let mut l_rows = Vec::with_capacity(b * d);
+        for row in states.chunks(2 * d) {
+            u_rows.extend_from_slice(&row[..d]);
+            l_rows.extend_from_slice(&row[d..]);
+        }
+        let mf = linalg::matmul_nt(&Tensor::from_vec([b, d], u_rows), self.item_iu.value());
+        let mc = linalg::matmul_nt(&Tensor::from_vec([b, d], l_rows), self.item_il.value());
         mf.add(&mc).data().chunks(v).map(<[f32]>::to_vec).collect()
     }
 }

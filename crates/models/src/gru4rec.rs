@@ -8,7 +8,7 @@ use seqrec_data::batch::{
     epoch_batches, next_item_batch, pad_left, NegativeSampler, NextItemBatch,
 };
 use seqrec_data::Split;
-use seqrec_eval::SequenceScorer;
+use seqrec_eval::{SequenceScorer, StatefulScorer};
 use seqrec_tensor::init::{rng, TensorRng};
 use seqrec_tensor::nn::{Embedding, HasParams, Linear, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig};
@@ -130,6 +130,11 @@ impl Gru4Rec {
         let item_emb = Embedding::new("gru.item", cfg.num_items + 2, cfg.d, &mut r);
         let cell = GruCell::new("gru.cell", cfg.d, &mut r);
         Gru4Rec { cfg, item_emb, cell }
+    }
+
+    /// The hyper-parameters this model was built with.
+    pub fn config(&self) -> &Gru4RecConfig {
+        &self.cfg
     }
 
     /// Unrolls the GRU over a left-padded batch, returning the hidden state
@@ -295,7 +300,17 @@ impl SequenceScorer for Gru4Rec {
     fn num_items(&self) -> usize {
         self.cfg.num_items
     }
-    fn score_full_catalog(&self, _users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+    fn score_full_catalog(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+        self.score_states(&self.encode_users(users, inputs))
+    }
+}
+
+impl StatefulScorer for Gru4Rec {
+    /// State row = the final GRU hidden state `[d]`.
+    fn state_dim(&self) -> usize {
+        self.cfg.d
+    }
+    fn encode_users(&self, _users: &[usize], inputs: &[&[u32]]) -> Vec<f32> {
         let t = self.cfg.max_len;
         let mut ids = Vec::with_capacity(inputs.len() * t);
         let mut valid = Vec::with_capacity(inputs.len());
@@ -308,7 +323,11 @@ impl SequenceScorer for Gru4Rec {
         let mut r = rng(0);
         let states = self.unroll(&mut step, &ids, &valid, false, &mut r);
         let last = *states.last().expect("max_len > 0");
-        let repr = step.tape.value(last).clone();
+        step.tape.value(last).data().to_vec()
+    }
+    fn score_states(&self, states: &[f32]) -> Vec<Vec<f32>> {
+        let d = self.cfg.d;
+        let repr = Tensor::from_vec([states.len() / d, d], states.to_vec());
         let scores = linalg::matmul_nt(&repr, self.item_emb.table().value());
         let keep = self.cfg.num_items + 1;
         scores.data().chunks(self.cfg.num_items + 2).map(|row| row[..keep].to_vec()).collect()

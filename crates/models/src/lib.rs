@@ -24,6 +24,7 @@
 pub mod bert4rec;
 pub mod bprmf;
 pub mod caser;
+pub mod checkpoint;
 pub mod common;
 pub mod dp;
 pub mod encoder;
@@ -36,6 +37,7 @@ pub mod sasrec;
 pub use bert4rec::{Bert4Rec, Bert4RecConfig};
 pub use bprmf::{BprMf, BprMfConfig};
 pub use caser::{Caser, CaserConfig};
+pub use checkpoint::{CheckpointError, Checkpointable};
 pub use common::{EarlyStopper, TrainOptions, TrainReport};
 pub use encoder::{EncoderConfig, TransformerEncoder};
 pub use fpmc::{Fpmc, FpmcConfig};

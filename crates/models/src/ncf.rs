@@ -7,7 +7,7 @@ use std::collections::HashSet;
 
 use seqrec_data::batch::{epoch_batches, NegativeSampler};
 use seqrec_data::Split;
-use seqrec_eval::SequenceScorer;
+use seqrec_eval::{SequenceScorer, StatefulScorer};
 use seqrec_tensor::init::{self, rng};
 use seqrec_tensor::nn::{HasParams, Linear, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig};
@@ -65,6 +65,11 @@ impl Ncf {
     /// The configuration.
     pub fn config(&self) -> &NcfConfig {
         &self.cfg
+    }
+
+    /// Number of users the embedding tables cover.
+    pub fn num_users(&self) -> usize {
+        self.num_users
     }
 
     /// Logits for `(user, item)` pairs (both id slices the same length).
@@ -222,20 +227,34 @@ impl SequenceScorer for Ncf {
     fn num_items(&self) -> usize {
         self.num_items
     }
-    fn score_full_catalog(&self, users: &[usize], _inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+    fn score_full_catalog(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+        self.score_states(&self.encode_users(users, inputs))
+    }
+}
+
+impl StatefulScorer for Ncf {
+    /// NCF's MLP couples the user and item towers, so scoring does not
+    /// factorise into a state × catalog product; the cacheable state is the
+    /// fully scored row itself (`score_states` just re-chunks it).
+    fn state_dim(&self) -> usize {
+        self.num_items + 1
+    }
+    fn encode_users(&self, users: &[usize], _inputs: &[&[u32]]) -> Vec<f32> {
         // One forward of (V+1) rows per user; MLP activations dominate, so
         // keep the per-call batch at a single user to bound memory.
         let all_items: Vec<u32> = (0..=self.num_items as u32).collect();
-        users
-            .iter()
-            .map(|&u| {
-                assert!(u < self.num_users, "unknown user {u}");
-                let u_ids = vec![u as u32; all_items.len()];
-                let mut step = Step::new();
-                let logits = self.forward(&mut step, &u_ids, &all_items);
-                step.tape.value(logits).data().to_vec()
-            })
-            .collect()
+        let mut states = Vec::with_capacity(users.len() * all_items.len());
+        for &u in users {
+            assert!(u < self.num_users, "unknown user {u}");
+            let u_ids = vec![u as u32; all_items.len()];
+            let mut step = Step::new();
+            let logits = self.forward(&mut step, &u_ids, &all_items);
+            states.extend_from_slice(step.tape.value(logits).data());
+        }
+        states
+    }
+    fn score_states(&self, states: &[f32]) -> Vec<Vec<f32>> {
+        states.chunks(self.num_items + 1).map(<[f32]>::to_vec).collect()
     }
 }
 

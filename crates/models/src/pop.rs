@@ -1,7 +1,7 @@
 //! Pop: the non-personalised most-popular baseline.
 
 use seqrec_data::Split;
-use seqrec_eval::SequenceScorer;
+use seqrec_eval::{SequenceScorer, StatefulScorer};
 
 /// Recommends items by global training-set popularity — identical scores
 /// for every user.
@@ -27,6 +27,20 @@ impl Pop {
     pub fn popularity(&self, item: u32) -> f32 {
         self.scores[item as usize]
     }
+
+    /// Rebuilds a model from a stored score table (checkpoint load).
+    ///
+    /// # Panics
+    /// Panics unless `scores` has one entry per item id `0..=num_items`.
+    pub fn from_scores(scores: Vec<f32>, num_items: usize) -> Self {
+        assert_eq!(scores.len(), num_items + 1, "score table length");
+        Pop { scores, num_items }
+    }
+
+    /// The full score table (index = item id; entry 0 is the pad id).
+    pub fn scores(&self) -> &[f32] {
+        &self.scores
+    }
 }
 
 impl SequenceScorer for Pop {
@@ -35,6 +49,18 @@ impl SequenceScorer for Pop {
     }
     fn score_full_catalog(&self, users: &[usize], _inputs: &[&[u32]]) -> Vec<Vec<f32>> {
         users.iter().map(|_| self.scores.clone()).collect()
+    }
+}
+
+impl StatefulScorer for Pop {
+    fn state_dim(&self) -> usize {
+        1 // no per-user state; one placeholder scalar keeps rows countable
+    }
+    fn encode_users(&self, users: &[usize], _inputs: &[&[u32]]) -> Vec<f32> {
+        vec![0.0; users.len()]
+    }
+    fn score_states(&self, states: &[f32]) -> Vec<Vec<f32>> {
+        states.iter().map(|_| self.scores.clone()).collect()
     }
 }
 

@@ -10,7 +10,7 @@ use seqrec_data::batch::{
     epoch_batches, next_item_batch, pad_left, NegativeSampler, NextItemBatch,
 };
 use seqrec_data::Split;
-use seqrec_eval::SequenceScorer;
+use seqrec_eval::{SequenceScorer, StatefulScorer};
 use seqrec_tensor::init::{rng, TensorRng};
 use seqrec_tensor::nn::{HasParams, Param, Step};
 use seqrec_tensor::optim::{Adam, AdamConfig, LrSchedule};
@@ -229,9 +229,9 @@ impl SasRec {
         report
     }
 
-    /// Scores the catalog for a batch of histories without recording
-    /// gradients (dropout off).
-    fn score_batch(&self, inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+    /// Encodes histories into `[B, d]` user representations without
+    /// recording gradients (dropout off).
+    fn encode_batch(&self, inputs: &[&[u32]]) -> Vec<f32> {
         let t = self.encoder.config().max_len;
         let mut ids = Vec::with_capacity(inputs.len() * t);
         let mut valid = Vec::with_capacity(inputs.len());
@@ -243,15 +243,7 @@ impl SasRec {
         let mut step = Step::new();
         let mut r = rng(0); // eval mode: dropout disabled, rng unused
         let repr = self.encoder.user_repr(&mut step, &ids, &valid, false, &mut r);
-        let repr_val = step.tape.value(repr).clone();
-        let table = self.encoder.item_embedding().table().value();
-        let scores = linalg::matmul_nt(&repr_val, table); // [B, vocab]
-        let keep = self.encoder.config().num_items + 1;
-        scores
-            .data()
-            .chunks(self.encoder.config().vocab())
-            .map(|row| row[..keep].to_vec())
-            .collect()
+        step.tape.value(repr).data().to_vec()
     }
 }
 
@@ -268,8 +260,30 @@ impl SequenceScorer for SasRec {
     fn num_items(&self) -> usize {
         self.encoder.config().num_items
     }
-    fn score_full_catalog(&self, _users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
-        self.score_batch(inputs)
+    fn score_full_catalog(&self, users: &[usize], inputs: &[&[u32]]) -> Vec<Vec<f32>> {
+        self.score_states(&self.encode_users(users, inputs))
+    }
+}
+
+impl StatefulScorer for SasRec {
+    fn state_dim(&self) -> usize {
+        self.encoder.config().d
+    }
+    fn encode_users(&self, _users: &[usize], inputs: &[&[u32]]) -> Vec<f32> {
+        self.encode_batch(inputs)
+    }
+    fn score_states(&self, states: &[f32]) -> Vec<Vec<f32>> {
+        let d = self.encoder.config().d;
+        let b = states.len() / d;
+        let repr = Tensor::from_vec([b, d], states.to_vec());
+        let table = self.encoder.item_embedding().table().value();
+        let scores = linalg::matmul_nt(&repr, table); // [B, vocab]
+        let keep = self.encoder.config().num_items + 1;
+        scores
+            .data()
+            .chunks(self.encoder.config().vocab())
+            .map(|row| row[..keep].to_vec())
+            .collect()
     }
 }
 

@@ -46,14 +46,32 @@ pub fn default_specs() -> Vec<MetricSpec> {
     ]
 }
 
-/// The same metric set with every tolerance scaled by `factor` — the smoke
-/// mode used in CI, where a tiny run on a shared machine needs loose gates.
-pub fn scaled_specs(factor: f64) -> Vec<MetricSpec> {
-    let mut specs = default_specs();
+/// The serving gate (`BENCH_serve.json`): latency quantiles regress by
+/// growing; throughput and cache efficiency regress by shrinking. Serve
+/// latency on a shared machine is far noisier than epoch timings, hence
+/// the wider bands; the cache hit rate is a property of the seeded
+/// workload generator, not the clock, so its band stays tight.
+pub fn serve_specs() -> Vec<MetricSpec> {
+    vec![
+        MetricSpec { key: "p50_us", worse: Worse::Higher, tolerance: 0.75 },
+        MetricSpec { key: "p99_us", worse: Worse::Higher, tolerance: 1.00 },
+        MetricSpec { key: "items_per_sec", worse: Worse::Lower, tolerance: 0.40 },
+        MetricSpec { key: "cache_hit_rate", worse: Worse::Lower, tolerance: 0.05 },
+    ]
+}
+
+/// A metric set with every tolerance scaled by `factor` — the smoke mode
+/// used in CI, where a tiny run on a shared machine needs loose gates.
+pub fn scale_specs(mut specs: Vec<MetricSpec>, factor: f64) -> Vec<MetricSpec> {
     for s in &mut specs {
         s.tolerance *= factor;
     }
     specs
+}
+
+/// [`default_specs`] scaled by `factor`.
+pub fn scaled_specs(factor: f64) -> Vec<MetricSpec> {
+    scale_specs(default_specs(), factor)
 }
 
 /// One metric comparison on one row.

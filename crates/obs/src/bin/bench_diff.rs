@@ -3,31 +3,45 @@
 //! its tolerance. This is the core of `scripts/bench_gate.sh`.
 //!
 //! ```text
-//! bench-diff BASELINE FRESH [--tolerance-scale X]
+//! bench-diff BASELINE FRESH [--specs train|serve] [--tolerance-scale X]
 //! ```
 //!
-//! Tracked metrics and worse-directions: `secs_per_epoch` (up),
-//! `seqs_per_sec` (down), `gemm_gflops_per_sec` (down),
-//! `peak_tensor_mib` (up). Improvements never fail the gate.
+//! Tracked metrics and worse-directions with `--specs train` (the
+//! default): `secs_per_epoch` (up), `seqs_per_sec` (down),
+//! `gemm_gflops_per_sec` (down), `peak_tensor_mib` (up). With
+//! `--specs serve` (for `BENCH_serve.json`): `p50_us`/`p99_us` (up),
+//! `items_per_sec`/`cache_hit_rate` (down). Improvements never fail the
+//! gate.
 
 use std::process::ExitCode;
 
-use seqrec_obs::benchdiff::{diff, scaled_specs};
+use seqrec_obs::benchdiff::{default_specs, diff, scale_specs, serve_specs};
 
 const USAGE: &str = "\
-usage: bench-diff BASELINE FRESH [--tolerance-scale X]
+usage: bench-diff BASELINE FRESH [--specs train|serve] [--tolerance-scale X]
   BASELINE            committed bench report (e.g. BENCH_train.json)
   FRESH               freshly generated bench report to gate
+  --specs NAME        metric set: `train` (default, BENCH_train.json) or
+                      `serve` (BENCH_serve.json latency/throughput/cache)
   --tolerance-scale X multiply every tolerance by X (CI smoke mode uses a
                       loose scale to absorb tiny-run timer noise)";
 
 fn run(argv: &[String]) -> Result<bool, String> {
     let mut paths = Vec::new();
     let mut scale = 1.0f64;
+    let mut specs = default_specs();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--help" | "-h" => return Err(String::new()),
+            "--specs" => {
+                let v = it.next().ok_or("--specs needs a value")?;
+                specs = match v.as_str() {
+                    "train" => default_specs(),
+                    "serve" => serve_specs(),
+                    other => return Err(format!("unknown --specs `{other}` (train|serve)")),
+                };
+            }
             "--tolerance-scale" => {
                 let v = it.next().ok_or("--tolerance-scale needs a value")?;
                 scale = v.parse().map_err(|_| format!("invalid --tolerance-scale `{v}`"))?;
@@ -46,7 +60,7 @@ fn run(argv: &[String]) -> Result<bool, String> {
         std::fs::read_to_string(baseline).map_err(|e| format!("cannot read {baseline}: {e}"))?;
     let fresh_text =
         std::fs::read_to_string(fresh).map_err(|e| format!("cannot read {fresh}: {e}"))?;
-    let report = diff(&base_text, &fresh_text, &scaled_specs(scale))?;
+    let report = diff(&base_text, &fresh_text, &scale_specs(specs, scale))?;
     print!("{}", report.render());
     Ok(report.failed())
 }

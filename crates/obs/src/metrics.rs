@@ -233,6 +233,19 @@ pub static DP_SHARD_LOSS_SPREAD_MILLI: Histogram = Histogram::new(
     "train.dp_shard_loss_spread_milli",
     &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000],
 );
+/// Score requests handled by the serving stack.
+pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+/// Serve requests whose encoder state came from the user-state cache.
+pub static SERVE_CACHE_HITS: Counter = Counter::new("serve.cache.hits");
+/// Serve requests that had to re-encode the user's history.
+pub static SERVE_CACHE_MISSES: Counter = Counter::new("serve.cache.misses");
+/// Forward batches executed by the scoring service.
+pub static SERVE_BATCHES: Counter = Counter::new("serve.batches");
+/// Distribution of per-serve-batch wall time (µs), model forward + top-K.
+pub static SERVE_BATCH_US: Histogram = Histogram::new(
+    "serve.batch_us",
+    &[100, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000],
+);
 
 /// Records a non-negative float into a scaled histogram: `value * scale`,
 /// saturating, with NaN/Inf mapped to `u64::MAX` (the overflow bucket).
@@ -275,7 +288,7 @@ pub struct MetricReading {
     pub value: MetricValue,
 }
 
-fn counters() -> [&'static Counter; 10] {
+fn counters() -> [&'static Counter; 14] {
     [
         &GEMM_FLOPS,
         &GEMM_CALLS,
@@ -287,6 +300,10 @@ fn counters() -> [&'static Counter; 10] {
         &EVAL_USERS,
         &OPTIM_STEPS,
         &TRAIN_ANOMALIES,
+        &SERVE_REQUESTS,
+        &SERVE_CACHE_HITS,
+        &SERVE_CACHE_MISSES,
+        &SERVE_BATCHES,
     ]
 }
 
@@ -294,13 +311,14 @@ fn gauges() -> [&'static Gauge; 1] {
     [&TENSOR_LIVE_BYTES]
 }
 
-fn histograms() -> [&'static Histogram; 5] {
+fn histograms() -> [&'static Histogram; 6] {
     [
         &GEMM_FLOPS_PER_CALL,
         &TRAIN_BATCH_US,
         &GRAD_NORM_MILLI,
         &UPDATE_RATIO_MICRO,
         &DP_SHARD_LOSS_SPREAD_MILLI,
+        &SERVE_BATCH_US,
     ]
 }
 

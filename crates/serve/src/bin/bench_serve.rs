@@ -1,0 +1,321 @@
+//! Serving-latency benchmark: spins up the full serving stack — train (or
+//! init) a model, round-trip it through a versioned checkpoint, load it
+//! behind [`seqrec_serve::AnyModel`], and drive the [`BatchingServer`] at a
+//! fixed offered load from several client threads.
+//!
+//! ```text
+//! cargo run --release -p seqrec-serve --bin bench_serve -- \
+//!     --scale 0.005 --requests 2000 --qps 2000 --k 10 --out BENCH_serve.json
+//! ```
+//!
+//! Reports p50/p99 request latency, catalog items scored per second, and
+//! the user-state cache hit rate, per method — the same report shape
+//! `bench_diff --specs serve` gates (`scripts/bench_gate.sh`). The workload
+//! replays a seeded, popularity-skewed user stream, so the cache hit rate
+//! is a deterministic function of `--seed`/`--requests`, not of timing.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use seqrec_data::synthetic::{generate_dataset, SyntheticConfig};
+use seqrec_data::Split;
+use seqrec_eval::SequenceScorer;
+use seqrec_models::checkpoint;
+use seqrec_models::{EncoderConfig, Pop, SasRec, TrainOptions};
+use seqrec_serve::{AnyModel, BatchingServer, ServerConfig};
+use serde::Serialize;
+
+struct Args {
+    scale: f64,
+    epochs: usize,
+    requests: usize,
+    qps: f64,
+    k: usize,
+    clients: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 0.005,
+            epochs: 0,
+            requests: 2000,
+            qps: 2000.0,
+            k: 10,
+            clients: 4,
+            seed: 42,
+            out: None,
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: bench_serve [--scale X] [--epochs N] [--requests N] [--qps X]
+                   [--k N] [--clients N] [--seed N] [--out PATH]
+  --scale X     synthetic `beauty` dataset scale (default 0.005)
+  --epochs N    SASRec training epochs before serving (default 0: serving
+                cost does not depend on the weights)
+  --requests N  total requests offered per method (default 2000)
+  --qps X       offered load, requests/second across all clients (default 2000)
+  --k N         top-K size per request (default 10)
+  --clients N   concurrent client threads (default 4)
+  --seed N      workload + model seed (default 42)
+  --out PATH    also write the JSON report to PATH";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--scale" => {
+                args.scale = val("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--epochs" => {
+                args.epochs = val("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--requests" => {
+                args.requests =
+                    val("--requests")?.parse().map_err(|e| format!("--requests: {e}"))?
+            }
+            "--qps" => args.qps = val("--qps")?.parse().map_err(|e| format!("--qps: {e}"))?,
+            "--k" => args.k = val("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--clients" => {
+                args.clients = val("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out = Some(val("--out")?.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if args.requests == 0 || args.clients == 0 || !(args.qps.is_finite() && args.qps > 0.0) {
+        return Err("--requests, --clients and --qps must be positive".to_string());
+    }
+    Ok(args)
+}
+
+/// One method's measured serving performance.
+#[derive(Clone, Debug, Serialize)]
+struct ServeRow {
+    /// Method label (matches the training bench's naming).
+    method: String,
+    /// Dataset preset the workload was drawn from.
+    dataset: String,
+    /// Requests completed.
+    requests: usize,
+    /// Median request latency, µs (client-observed, includes batching wait).
+    p50_us: f64,
+    /// 99th-percentile request latency, µs.
+    p99_us: f64,
+    /// Mean request latency, µs.
+    mean_us: f64,
+    /// Catalog items scored per wall second (requests × (num_items+1) / secs).
+    items_per_sec: f64,
+    /// Fraction of requests whose encoder state came from the cache.
+    cache_hit_rate: f64,
+    /// Forward batches the server ran (lower = better coalescing).
+    batches: u64,
+    /// Achieved request throughput (sanity check against the offered qps).
+    achieved_qps: f64,
+}
+
+/// Deterministic splitmix64 stream for the workload generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Serves `requests` against `model` at the offered load and measures
+/// client-observed latency.
+fn bench_model(model: AnyModel, split: &Split, args: &Args, method: &str) -> ServeRow {
+    let num_items = model.num_items();
+    seqrec_obs::metrics::reset_all();
+    let server = BatchingServer::spawn(model, ServerConfig::default());
+
+    // Popularity-skewed user stream (x² skew): popular users repeat, so
+    // the cache sees a realistic mix of hits and misses.
+    let num_users = split.num_users();
+    let mut rng = Rng(args.seed);
+    let schedule: Vec<usize> = (0..args.requests)
+        .map(|_| ((rng.unit() * rng.unit() * num_users as f64) as usize).min(num_users - 1))
+        .collect();
+
+    let interval = Duration::from_secs_f64(1.0 / args.qps);
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(args.requests)));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..args.clients {
+            let client = server.client();
+            let latencies = Arc::clone(&latencies);
+            let schedule = &schedule;
+            scope.spawn(move || {
+                let mut mine = Vec::new();
+                for (i, &user) in schedule.iter().enumerate() {
+                    if i % args.clients != c {
+                        continue;
+                    }
+                    // Open-loop pacing: request i is due at started + i·interval.
+                    let due = started + interval * i as u32;
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let sent = Instant::now();
+                    let recs = client
+                        .recommend(user, split.train_sequence(user), args.k)
+                        .expect("server alive");
+                    assert!(recs.len() <= args.k);
+                    mine.push(sent.elapsed().as_secs_f64() * 1e6);
+                }
+                latencies.lock().expect("latency lock").extend(mine);
+            });
+        }
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    drop(server);
+
+    let mut lat = Arc::try_unwrap(latencies).expect("clients done").into_inner().expect("lock");
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let hits = seqrec_obs::metrics::SERVE_CACHE_HITS.get();
+    let total = seqrec_obs::metrics::SERVE_REQUESTS.get();
+    ServeRow {
+        method: method.to_string(),
+        dataset: "beauty".to_string(),
+        requests: lat.len(),
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+        mean_us: lat.iter().sum::<f64>() / lat.len().max(1) as f64,
+        items_per_sec: lat.len() as f64 * (num_items + 1) as f64 / wall_secs,
+        cache_hit_rate: if total > 0 { hits as f64 / total as f64 } else { 0.0 },
+        batches: seqrec_obs::metrics::SERVE_BATCHES.get(),
+        achieved_qps: lat.len() as f64 / wall_secs,
+    }
+}
+
+/// Round-trips `model` through the checkpoint format and loads it back as
+/// an [`AnyModel`] — every benched method serves from a loaded checkpoint,
+/// exactly like production would.
+fn through_checkpoint<M: checkpoint::Checkpointable>(model: &M) -> AnyModel {
+    let bytes = checkpoint::save_to_vec(model);
+    AnyModel::load_from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("checkpoint round trip for {}: {e}", M::KIND))
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct BenchServeReport {
+    generated_by: String,
+    note: String,
+    threads: usize,
+    threads_source: String,
+    scale: f64,
+    epochs: usize,
+    offered_qps: f64,
+    k: usize,
+    clients: usize,
+    seed: u64,
+    rows: Vec<ServeRow>,
+}
+
+fn main() {
+    let _obs = seqrec_obs::init_from_env();
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) if e.is_empty() => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("bench_serve: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let dataset = generate_dataset(&SyntheticConfig::beauty(args.scale));
+    let split = Split::leave_one_out(&dataset);
+    let num_items = dataset.num_items();
+    seqrec_obs::info!(
+        "[bench_serve] beauty @ {}: {} users, {} items",
+        args.scale,
+        split.num_users(),
+        num_items
+    );
+
+    let mut sasrec = SasRec::new(EncoderConfig::small(num_items), args.seed);
+    if args.epochs > 0 {
+        sasrec.fit(
+            &split,
+            &TrainOptions {
+                epochs: args.epochs,
+                seed: args.seed,
+                patience: None,
+                probe_every: 0,
+                ..Default::default()
+            },
+        );
+    }
+    let pop = Pop::fit(&split);
+
+    let mut rows = Vec::new();
+    for (method, model) in
+        [("SASRec", through_checkpoint(&sasrec)), ("Pop", through_checkpoint(&pop))]
+    {
+        let row = bench_model(model, &split, &args, method);
+        seqrec_obs::info!(
+            "[bench_serve] {method}: p50 {:.0}µs, p99 {:.0}µs, {:.2}M items/s, {:.0}% cache hits",
+            row.p50_us,
+            row.p99_us,
+            row.items_per_sec / 1e6,
+            row.cache_hit_rate * 100.0
+        );
+        rows.push(row);
+    }
+
+    let report = BenchServeReport {
+        generated_by: "scripts/bench_serve.sh".to_string(),
+        note: "client-observed latency at fixed offered load; includes the \
+               micro-batching window; every model served from a loaded checkpoint"
+            .to_string(),
+        threads: rayon::current_num_threads(),
+        threads_source: if std::env::var_os("SEQREC_THREADS").is_some() {
+            "SEQREC_THREADS".to_string()
+        } else {
+            "available_parallelism".to_string()
+        },
+        scale: args.scale,
+        epochs: args.epochs,
+        offered_qps: args.qps,
+        k: args.k,
+        clients: args.clients,
+        seed: args.seed,
+        rows,
+    };
+    let text = serde_json::to_string_pretty(&report).expect("serialisable report");
+    println!("{text}");
+    if let Some(p) = &args.out {
+        std::fs::write(p, format!("{text}\n")).unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
+        seqrec_obs::info!("[bench_serve] report written to {p}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-user encoder-state cache.
+//!
+//! The expensive half of serving a sequential recommender is encoding the
+//! user's history into a representation; scoring that representation
+//! against the catalog is one GEMM row. This cache keeps the latest
+//! encoder state per user, keyed by a digest of the exact history that
+//! produced it — so appending an interaction changes the digest and the
+//! stale state is ignored (and replaced) on the next request. Correctness
+//! never depends on an explicit invalidation call, but [`UserStateCache::invalidate`]
+//! exists for eager eviction when an ingest pipeline knows a user changed.
+
+use std::collections::HashMap;
+
+// Order-sensitive FNV-1a over the history's item ids. Collisions would
+// serve a stale state, but at 64 bits a user would need ~2^32 distinct
+// histories for a coin-flip chance, far beyond any session's lifetime.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Digest of an interaction history, as used for cache validity checks.
+pub fn history_digest(history: &[u32]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for item in history {
+        for b in item.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+struct Entry {
+    digest: u64,
+    state: Vec<f32>,
+}
+
+/// Latest encoder state per user, validity-checked against the history.
+#[derive(Default)]
+pub struct UserStateCache {
+    entries: HashMap<usize, Entry>,
+}
+
+impl UserStateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached state for `user`, only if it was computed from exactly
+    /// `history`.
+    pub fn get(&self, user: usize, history: &[u32]) -> Option<&[f32]> {
+        let e = self.entries.get(&user)?;
+        (e.digest == history_digest(history)).then_some(e.state.as_slice())
+    }
+
+    /// Stores `state` as `user`'s encoder state for `history`, replacing
+    /// any previous entry.
+    pub fn put(&mut self, user: usize, history: &[u32], state: Vec<f32>) {
+        self.entries.insert(user, Entry { digest: history_digest(history), state });
+    }
+
+    /// Evicts `user`'s entry, if any.
+    pub fn invalidate(&mut self, user: usize) {
+        self.entries.remove(&user);
+    }
+
+    /// Number of users with a cached state.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_change_misses() {
+        let mut c = UserStateCache::new();
+        c.put(3, &[1, 2], vec![0.5]);
+        assert_eq!(c.get(3, &[1, 2]), Some(&[0.5][..]));
+        assert_eq!(c.get(3, &[1, 2, 9]), None, "appended interaction must miss");
+        assert_eq!(c.get(4, &[1, 2]), None, "other user must miss");
+        c.invalidate(3);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn digest_is_order_and_length_sensitive() {
+        assert_ne!(history_digest(&[1, 2]), history_digest(&[2, 1]));
+        assert_ne!(history_digest(&[1]), history_digest(&[1, 1]));
+        assert_ne!(history_digest(&[]), history_digest(&[0]));
+    }
+}

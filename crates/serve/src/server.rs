@@ -1,0 +1,140 @@
+//! Micro-batching frontend: a worker thread that coalesces concurrent
+//! score requests into one forward pass.
+//!
+//! Requests arrive on an MPSC channel. The worker takes the first request,
+//! then keeps accepting more until either `max_batch` requests are queued
+//! or `batch_window` has elapsed since the first one — so a lone request
+//! pays at most the window in extra latency, while a burst amortises the
+//! encoder forward across the whole batch. The batch then runs through
+//! [`ScoringService`], which also de-duplicates encoder work via the
+//! per-user state cache.
+//!
+//! The GEMM engine's batch-size invariance means coalescing never changes
+//! scores: a request served in a batch of 64 returns bit-identical results
+//! to the same request served alone (`tests/serve_parity.rs`).
+
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use seqrec_eval::StatefulScorer;
+use seqrec_obs::metrics;
+
+use crate::service::{Recommendation, ScoringService};
+
+/// Batching policy for a [`BatchingServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Largest batch one forward pass may serve.
+    pub max_batch: usize,
+    /// How long the worker waits for more requests after the first one.
+    pub batch_window: Duration,
+    /// Bound on queued requests before senders block (backpressure).
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { max_batch: 64, batch_window: Duration::from_micros(500), queue_depth: 1024 }
+    }
+}
+
+struct Request {
+    user: usize,
+    history: Vec<u32>,
+    k: usize,
+    reply: SyncSender<Vec<Recommendation>>,
+}
+
+/// A handle for submitting requests to a [`BatchingServer`]; clone one per
+/// client thread.
+#[derive(Clone)]
+pub struct ServeClient {
+    tx: SyncSender<Request>,
+}
+
+impl ServeClient {
+    /// Scores `history` for `user` and returns the top `k` items, blocking
+    /// until the server has run the batch containing this request.
+    ///
+    /// Returns `None` if the server has shut down.
+    pub fn recommend(&self, user: usize, history: &[u32], k: usize) -> Option<Vec<Recommendation>> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.tx.send(Request { user, history: history.to_vec(), k, reply: reply_tx }).ok()?;
+        reply_rx.recv().ok()
+    }
+}
+
+/// A scoring server: one worker thread owning the model and its cache.
+pub struct BatchingServer {
+    tx: Option<SyncSender<Request>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl BatchingServer {
+    /// Starts the worker thread around `model`.
+    pub fn spawn<M>(model: M, cfg: ServerConfig) -> Self
+    where
+        M: StatefulScorer + Send + 'static,
+    {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
+        let worker = std::thread::Builder::new()
+            .name("seqrec-serve".into())
+            .spawn(move || worker_loop(ScoringService::new(model), rx, cfg))
+            .expect("spawn serve worker");
+        BatchingServer { tx: Some(tx), worker: Some(worker) }
+    }
+
+    /// A new client handle.
+    pub fn client(&self) -> ServeClient {
+        ServeClient { tx: self.tx.clone().expect("server running") }
+    }
+}
+
+impl Drop for BatchingServer {
+    fn drop(&mut self) {
+        // Closing the channel lets the worker drain queued requests and exit.
+        drop(self.tx.take());
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop<M: StatefulScorer>(
+    mut service: ScoringService<M>,
+    rx: Receiver<Request>,
+    cfg: ServerConfig,
+) {
+    loop {
+        let first = match rx.recv() {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + cfg.batch_window;
+        while batch.len() < cfg.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(r) => batch.push(r),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let started = Instant::now();
+        let users: Vec<usize> = batch.iter().map(|r| r.user).collect();
+        let histories: Vec<&[u32]> = batch.iter().map(|r| r.history.as_slice()).collect();
+        let max_k = batch.iter().map(|r| r.k).max().unwrap_or(0);
+        let ranked = service.recommend(&users, &histories, max_k);
+        metrics::record_scaled(&metrics::SERVE_BATCH_US, started.elapsed().as_secs_f64(), 1e6);
+        for (req, mut recs) in batch.into_iter().zip(ranked) {
+            recs.truncate(req.k);
+            // A closed reply channel just means the client gave up waiting.
+            let _ = req.reply.send(recs);
+        }
+    }
+}

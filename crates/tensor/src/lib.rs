@@ -16,6 +16,8 @@
 //!   global-norm clipping; SGD for tests.
 //! * [`linalg`]: a packed, cache-blocked GEMM engine (`nn`/`nt`/`tn`,
 //!   batched) with an AVX2+FMA microkernel and rayon row-band parallelism.
+//! * [`topk`]: deterministic SIMD partial-select top-K for the serving
+//!   stack's full-catalog ranking.
 //!
 //! ## Example
 //!
@@ -52,6 +54,7 @@ pub mod optim;
 mod shape;
 mod tape;
 mod tensor;
+pub mod topk;
 
 pub use shape::Shape;
 pub use tape::{set_finite_tripwire, Gradients, Tape, Var};

@@ -47,9 +47,12 @@
 //! multiple of `NR`. The `matmul` bench group reports GFLOP/s per shape for
 //! validating a retune.
 //!
-//! Problems with fewer than [`SMALL_THRESHOLD`] multiply-adds (or outputs
-//! narrower than a register tile) skip packing entirely and run the direct
-//! kernels in [`simple`].
+//! Problems with fewer than [`SMALL_THRESHOLD`] multiply-adds per output
+//! row (or outputs narrower than a register tile) skip packing entirely and
+//! run the direct kernels in [`simple`]. The dispatch never reads the row
+//! count, so each output row's bits are independent of how many rows share
+//! the call — the property the serving stack's cached-state parity contract
+//! rests on (`tests/row_invariance.rs`).
 //!
 //! Batched versions (`bmm_*`) treat every leading dimension as batch; the
 //! two trailing dimensions are the matrix. Multi-head attention uses these
@@ -66,11 +69,19 @@ use rayon::prelude::*;
 
 use crate::tensor::Tensor;
 use gemm::MatRef;
-use micro::{MR, NR};
+use micro::NR;
 
-/// Below this many multiply-adds the packed engine is skipped in favour of
-/// the direct kernels in [`simple`].
-pub const SMALL_THRESHOLD: usize = 1 << 13;
+/// Below this much work **per output row** (`k·n` multiply-adds) the packed
+/// engine is skipped in favour of the direct kernels in [`simple`].
+///
+/// Deliberately a function of `k` and `n` only, never `m`: the serving
+/// stack scores micro-batches whose row counts differ from the evaluator's
+/// batches, and its parity contract promises bit-exact scores either way.
+/// Both kernel paths compute each output row independently, so results are
+/// row-batch-invariant exactly when the *path choice* is — which requires
+/// the dispatch predicate to ignore the row count. Pinned by
+/// `tests/row_invariance.rs`.
+pub const SMALL_THRESHOLD: usize = 1 << 10;
 
 /// Below this many multiply-adds a single thread is faster than fanning
 /// out over batches.
@@ -206,10 +217,12 @@ fn tn_a(data: &[f32], m: usize) -> MatRef<'_> {
     MatRef { data, rs: 1, cs: m }
 }
 
-/// Small problems skip packing; so do outputs narrower than a register
-/// tile, where padded microkernel lanes would be mostly wasted work.
-fn use_simple(m: usize, k: usize, n: usize) -> bool {
-    m * k * n < SMALL_THRESHOLD || m < MR || n < NR
+/// Thin rows skip packing; so do outputs narrower than a register tile,
+/// where padded microkernel lanes would be mostly wasted work. Must not
+/// read `m` (see [`SMALL_THRESHOLD`]); the packed engine's zero-padded
+/// M-edges handle any row count, including `m < MR`.
+fn use_simple(k: usize, n: usize) -> bool {
+    k * n < SMALL_THRESHOLD || n < NR
 }
 
 /// One relaxed-atomic probe per GEMM call: total FLOPs (2·m·k·n), call
@@ -227,7 +240,7 @@ fn count_gemm(m: usize, k: usize, n: usize) {
 fn nn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     count_gemm(m, k, n);
     let _s = seqrec_obs::detail_span!("gemm.nn");
-    if use_simple(m, k, n) {
+    if use_simple(k, n) {
         simple::nn(a, b, out, m, k, n);
     } else {
         gemm::gemm(m, k, n, nn_a(a, k), nn_b(b, n), out);
@@ -237,7 +250,7 @@ fn nn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) 
 fn nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     count_gemm(m, k, n);
     let _s = seqrec_obs::detail_span!("gemm.nt");
-    if use_simple(m, k, n) {
+    if use_simple(k, n) {
         simple::nt(a, b, out, m, k, n);
     } else {
         gemm::gemm(m, k, n, nn_a(a, k), nt_b(b, k), out);
@@ -247,7 +260,7 @@ fn nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) 
 fn tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     count_gemm(m, k, n);
     let _s = seqrec_obs::detail_span!("gemm.tn");
-    if use_simple(m, k, n) {
+    if use_simple(k, n) {
         simple::tn(a, b, out, m, k, n);
     } else {
         gemm::gemm(m, k, n, tn_a(a, m), nn_b(b, n), out);

@@ -1,9 +1,9 @@
 //! Direct kernels for problems too small to amortise packing.
 //!
-//! Below [`super::SMALL_THRESHOLD`] multiply-adds (or when the output is
-//! narrower than a register tile) the blocked engine's packing and edge
-//! handling cost more than they save, so these layout-specialised loops run
-//! instead. Each keeps both inner operands contiguous so LLVM
+//! Below [`super::SMALL_THRESHOLD`] multiply-adds per output row (or when
+//! the output is narrower than a register tile) the blocked engine's
+//! packing and edge handling cost more than they save, so these
+//! layout-specialised loops run instead. Each keeps both inner operands contiguous so LLVM
 //! auto-vectorises the innermost loop; none of them branch on element
 //! values (a data-dependent `x == 0.0` skip defeats vectorisation and adds
 //! a mispredicted branch per scalar on dense data).

@@ -1,0 +1,234 @@
+//! Partial-select top-K over a score vector.
+//!
+//! The serving stack scores every catalog item for a user and returns only
+//! the K best; sorting the full catalog (`O(n log n)`) to keep a handful of
+//! entries wastes most of the work. [`top_k`] instead streams the scores
+//! past a K-entry min-heap and uses an AVX2 compare+movemask prefilter to
+//! skip 8-lane blocks in which no score reaches the current admission
+//! threshold — on realistic (roughly shuffled) score vectors the heap stops
+//! changing early and the scan degrades to one SIMD compare per 8 items.
+//!
+//! Ordering is **fully deterministic**: descending by score, ties broken by
+//! the smaller index. The same rule decides both heap admission and the
+//! final sort, so the result is identical to a stable full-sort argsort —
+//! `tests/serve_parity.rs` pins that equivalence property-wise. Scores must
+//! be NaN-free (the scorers never produce NaN; the finite tripwire guards
+//! training) — with NaNs present the ordering would be total (`total_cmp`)
+//! but not meaningful.
+
+use std::collections::BinaryHeap;
+
+/// One selected entry: index into the score slice plus its score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopEntry {
+    /// Position in the input slice.
+    pub index: u32,
+    /// Score at that position.
+    pub score: f32,
+}
+
+/// Heap wrapper ordered so the **worst** entry (lowest score, then highest
+/// index) is at the top, making eviction O(log k).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Worst(u32, u32); // (score bits via total-order key, index)
+
+/// Monotone key: `total_cmp` order on f32 as an unsigned integer, so plain
+/// `u32` comparisons reproduce IEEE total ordering (sign-flipped two's
+/// complement trick).
+fn order_key(x: f32) -> u32 {
+    let b = x.to_bits();
+    if b >> 31 == 1 {
+        !b
+    } else {
+        b | 0x8000_0000
+    }
+}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap pops the worst: lower score first, then higher index.
+        other.0.cmp(&self.0).then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Returns the `k` best entries of `scores`, sorted descending by score
+/// with ties broken by the smaller index. `k >= scores.len()` returns every
+/// entry (still sorted); `k == 0` returns an empty vector.
+pub fn top_k(scores: &[f32], k: usize) -> Vec<TopEntry> {
+    if k == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(scores.len());
+    let mut heap: BinaryHeap<Worst> =
+        (0..k).map(|i| Worst(order_key(scores[i]), i as u32)).collect();
+
+    let rest = &scores[k..];
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: the CPU supports AVX2 (checked above).
+        unsafe { scan_avx2(rest, k as u32, &mut heap) };
+        return drain_sorted(heap);
+    }
+    scan_scalar(rest, k as u32, &mut heap);
+    drain_sorted(heap)
+}
+
+/// Admission test + replacement shared by both scan paths.
+#[inline]
+fn offer(heap: &mut BinaryHeap<Worst>, key: u32, index: u32) {
+    let &Worst(wkey, widx) = heap.peek().expect("heap holds k >= 1 entries");
+    if key > wkey || (key == wkey && index < widx) {
+        heap.pop();
+        heap.push(Worst(key, index));
+    }
+}
+
+fn scan_scalar(scores: &[f32], base: u32, heap: &mut BinaryHeap<Worst>) {
+    for (i, &s) in scores.iter().enumerate() {
+        offer(heap, order_key(s), base + i as u32);
+    }
+}
+
+/// Returns whether the running CPU has AVX2, detecting once.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    // 0 = not yet probed, 1 = available, 2 = unavailable.
+    static CACHE: AtomicU8 = AtomicU8::new(0);
+    match CACHE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let ok = is_x86_feature_detected!("avx2");
+            CACHE.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
+            ok
+        }
+    }
+}
+
+/// AVX2 scan: one `>=`-threshold compare + movemask per 8 scores; only
+/// blocks containing a candidate fall through to the exact scalar test.
+/// `>=` (not `>`) so an equal score that wins its tie-break on index is
+/// never skipped.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scan_avx2(scores: &[f32], base: u32, heap: &mut BinaryHeap<Worst>) {
+    use std::arch::x86_64::*;
+    let mut thresh_key = heap.peek().expect("heap holds k >= 1 entries").0;
+    let mut thresh = _mm256_set1_ps(f32::from_bits(key_to_bits(thresh_key)));
+    let chunks = scores.len() / 8;
+    for c in 0..chunks {
+        let block = _mm256_loadu_ps(scores.as_ptr().add(c * 8));
+        let ge = _mm256_cmp_ps(block, thresh, _CMP_GE_OQ);
+        if _mm256_movemask_ps(ge) == 0 {
+            continue;
+        }
+        for lane in 0..8 {
+            let i = c * 8 + lane;
+            offer(heap, order_key(scores[i]), base + i as u32);
+        }
+        let new_key = heap.peek().expect("heap holds k >= 1 entries").0;
+        if new_key != thresh_key {
+            thresh_key = new_key;
+            thresh = _mm256_set1_ps(f32::from_bits(key_to_bits(thresh_key)));
+        }
+    }
+    for (i, &s) in scores.iter().enumerate().skip(chunks * 8) {
+        offer(heap, order_key(s), base + i as u32);
+    }
+}
+
+/// Heap → descending (score, then ascending index) order.
+fn drain_sorted(heap: BinaryHeap<Worst>) -> Vec<TopEntry> {
+    let mut v = heap.into_vec();
+    v.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    v.into_iter()
+        .map(|Worst(key, index)| TopEntry { index, score: f32::from_bits(key_to_bits(key)) })
+        .collect()
+}
+
+/// Inverse of [`order_key`]: recovers the f32 bit pattern whose ordering
+/// key is `key` (used to build the SIMD threshold register and to read
+/// scores back out of the heap).
+fn key_to_bits(key: u32) -> u32 {
+    if key >> 31 == 1 {
+        key & 0x7fff_ffff
+    } else {
+        !key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: stable full-sort argsort under the same ordering rule.
+    fn brute_force(scores: &[f32], k: usize) -> Vec<TopEntry> {
+        let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b as usize].total_cmp(&scores[a as usize]).then_with(|| a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx.into_iter().map(|i| TopEntry { index: i, score: scores[i as usize] }).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_scores() {
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / 65536.0 - 0.5
+        };
+        for len in [1usize, 7, 8, 9, 63, 200, 1000] {
+            let scores: Vec<f32> = (0..len).map(|_| next()).collect();
+            for k in [1usize, 2, 10, len, len + 1] {
+                assert_eq!(top_k(&scores, k), brute_force(&scores, k.min(len)), "len={len} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_index() {
+        let scores = vec![1.0, 3.0, 3.0, -2.0, 3.0, 1.0];
+        let got = top_k(&scores, 4);
+        let idx: Vec<u32> = got.iter().map(|e| e.index).collect();
+        assert_eq!(idx, vec![1, 2, 4, 0]);
+    }
+
+    #[test]
+    fn negative_and_duplicate_scores() {
+        let scores = vec![-1.0, -1.0, -5.0, -0.5, -0.5];
+        assert_eq!(top_k(&scores, 3), brute_force(&scores, 3));
+    }
+
+    #[test]
+    fn k_zero_and_empty_input() {
+        assert!(top_k(&[1.0, 2.0], 0).is_empty());
+        assert!(top_k(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn k_at_least_len_returns_full_ranking() {
+        let scores = vec![0.25, -0.5, 0.25, 2.0];
+        let full = top_k(&scores, 4);
+        assert_eq!(full, brute_force(&scores, 4));
+        assert_eq!(top_k(&scores, 9), full);
+    }
+
+    #[test]
+    fn order_key_is_monotone() {
+        let vals = [-f32::INFINITY, -1.0e30, -1.0, -0.0, 0.0, 1.0e-10, 2.5, f32::INFINITY];
+        for w in vals.windows(2) {
+            assert!(order_key(w[0]) <= order_key(w[1]), "{} vs {}", w[0], w[1]);
+            assert_eq!(key_to_bits(order_key(w[0])), w[0].to_bits());
+        }
+    }
+}

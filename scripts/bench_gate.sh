@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Performance-regression gate: re-runs the training-throughput benchmark and
-# diffs the fresh numbers against the committed baseline (BENCH_train.json)
-# with per-metric relative tolerances (see crates/obs/src/benchdiff.rs).
-# Exits non-zero when any gated metric regresses beyond tolerance — wire it
-# into CI after scripts/test.sh.
+# Performance-regression gate: re-runs the training-throughput and
+# serving-latency benchmarks and diffs the fresh numbers against the
+# committed baselines (BENCH_train.json, BENCH_serve.json) with per-metric
+# relative tolerances (see crates/obs/src/benchdiff.rs; the serve metrics
+# use their own spec set via `bench_diff --specs serve`). Exits non-zero
+# when any gated metric regresses beyond tolerance — wire it into CI after
+# scripts/test.sh.
 #
 # Usage: scripts/bench_gate.sh [--smoke] [--baseline PATH]
 #
@@ -11,6 +13,8 @@
 #                    scale, so only catastrophic slowdowns (or schema drift
 #                    in the benchmark report) fail the gate.
 #   --baseline PATH  compare against PATH instead of BENCH_train.json.
+#   --serve-baseline PATH
+#                    compare against PATH instead of BENCH_serve.json.
 #
 # The committed baseline is machine-specific; regenerate it on the machine
 # that runs this gate with scripts/bench_train.sh.
@@ -19,6 +23,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE="BENCH_train.json"
+SERVE_BASELINE="BENCH_serve.json"
 SMOKE=0
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -27,8 +32,12 @@ while [ $# -gt 0 ]; do
             shift
             BASELINE="${1:?--baseline needs a path}"
             ;;
+        --serve-baseline)
+            shift
+            SERVE_BASELINE="${1:?--serve-baseline needs a path}"
+            ;;
         *)
-            echo "unknown flag $1 (usage: scripts/bench_gate.sh [--smoke] [--baseline PATH])" >&2
+            echo "unknown flag $1 (usage: scripts/bench_gate.sh [--smoke] [--baseline PATH] [--serve-baseline PATH])" >&2
             exit 2
             ;;
     esac
@@ -37,6 +46,10 @@ done
 
 if [ ! -f "$BASELINE" ]; then
     echo "bench_gate: baseline $BASELINE not found (run scripts/bench_train.sh first)" >&2
+    exit 2
+fi
+if [ ! -f "$SERVE_BASELINE" ]; then
+    echo "bench_gate: serve baseline $SERVE_BASELINE not found (run scripts/bench_serve.sh first)" >&2
     exit 2
 fi
 
@@ -74,3 +87,16 @@ cargo run --offline --release -p seqrec-experiments --bin bench_train -- \
 echo "== bench_gate: diff vs $BASELINE"
 cargo run --offline --release -p seqrec-obs --bin bench_diff -- \
     "$BASELINE" "$FRESH" "${DIFF_ARGS[@]}"
+
+# Serving gate: same machine-pinning rules; the serve spec set tracks
+# latency quantiles, scoring throughput and the cache hit rate. The bench
+# itself is fast, so smoke mode only loosens tolerances, never the run.
+FRESH_SERVE="target/bench_gate_fresh_serve.json"
+echo "== bench_gate: fresh serve benchmark run"
+cargo run --offline --release -p seqrec-serve --bin bench_serve -- \
+    --scale 0.005 --requests 2000 --qps 2000 --k 10 \
+    --out "$FRESH_SERVE" >/dev/null
+
+echo "== bench_gate: serve diff vs $SERVE_BASELINE"
+cargo run --offline --release -p seqrec-obs --bin bench_diff -- \
+    "$SERVE_BASELINE" "$FRESH_SERVE" --specs serve "${DIFF_ARGS[@]}"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the serving-latency benchmark (checkpoint round trip + batching
+# scoring server at a fixed offered load) and writes BENCH_serve.json at
+# the repo root: p50/p99 request latency, catalog items scored per second,
+# and the user-state cache hit rate per method.
+#
+# Usage: scripts/bench_serve.sh [extra bench_serve args...]
+# e.g.   scripts/bench_serve.sh --qps 4000 --requests 5000
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPORT="$PWD/BENCH_serve.json"
+
+cargo run --offline --release -p seqrec-serve --bin bench_serve -- \
+    --scale 0.005 --requests 2000 --qps 2000 --k 10 \
+    --out "$REPORT" "$@" >/dev/null
+
+python3 - "$REPORT" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+print(f"wrote {sys.argv[1]}")
+for r in report["rows"]:
+    print(
+        f"  {r['method']:>18s}/{r['dataset']}: "
+        f"p50 {r['p50_us']:.0f}us, p99 {r['p99_us']:.0f}us, "
+        f"{r['items_per_sec'] / 1e6:.2f}M items/s, "
+        f"{r['cache_hit_rate'] * 100:.0f}% cache hits"
+    )
+PY

@@ -95,6 +95,37 @@ for key in ("secs_per_epoch", "seqs_per_sec", "gemm_gflops_per_sec", "peak_tenso
 print(f"run ledger OK: {root} (config, env, report with {len(report['rows'])} rows)")
 PY
 
+echo "== serve smoke (train -> checkpoint -> load -> score -> report shape)"
+SERVE_SMOKE="target/ci_serve_smoke.json"
+rm -f "$SERVE_SMOKE"
+cargo run --offline --release -p seqrec-serve --bin bench_serve -- \
+    --scale 0.005 --epochs 1 --requests 500 --qps 4000 \
+    --out "$SERVE_SMOKE" >/dev/null
+python3 - "$SERVE_SMOKE" <<'PY'
+import json
+import sys
+
+# The smoke run trains a small SASRec for one epoch, saves it through the
+# versioned checkpoint format, loads it back behind AnyModel, and serves a
+# paced workload — so a green run certifies the whole serving path. The
+# report must have the exact shape `bench_diff --specs serve` gates.
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert isinstance(report.get("threads"), int), report.get("threads")
+assert report.get("epochs") == 1, "smoke must serve a trained checkpoint"
+rows = report["rows"]
+assert {r["method"] for r in rows} == {"SASRec", "Pop"}, rows
+for r in rows:
+    assert r["dataset"] == "beauty", r
+    assert r["requests"] == 500, r
+    for key in ("p50_us", "p99_us", "mean_us", "items_per_sec"):
+        assert r[key] > 0, f"{r['method']}: non-positive {key}"
+    assert r["p50_us"] <= r["p99_us"], f"{r['method']}: p50 above p99"
+    assert 0.0 <= r["cache_hit_rate"] <= 1.0, r["cache_hit_rate"]
+    assert 0 < r["batches"] <= r["requests"], r["batches"]
+print(f"serve smoke OK: {len(rows)} rows, shape matches the serve gate")
+PY
+
 echo "== bench regression gate (smoke tolerances)"
 bash scripts/bench_gate.sh --smoke
 

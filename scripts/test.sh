@@ -9,5 +9,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fail fast with a real diagnostic if the cd above did not land in the
+# workspace root (broken symlink to this script, copied out of the repo,
+# partial checkout): otherwise cargo walks up to whatever workspace happens
+# to enclose $PWD and "tier-1" silently tests the wrong tree.
+if ! grep -qs '^\[workspace\]' Cargo.toml; then
+    echo "scripts/test.sh: $PWD is not the seqrec workspace root" >&2
+    echo "  (expected a Cargo.toml with a [workspace] section next to scripts/;" >&2
+    echo "   run this script from a full checkout, not a copy of the script)" >&2
+    exit 2
+fi
+
 cargo build --release --workspace
 cargo test --workspace -q "$@"

@@ -1,0 +1,208 @@
+//! Serve-vs-eval parity: the serving path must be **bit-exact** against
+//! the offline evaluator for every model in the zoo — through the
+//! checkpoint round trip, through the user-state cache, through
+//! micro-batching, and through the SIMD top-K kernel.
+
+use cp4rec_repro::cl4srec::model::{Cl4sRec, Cl4sRecConfig};
+use cp4rec_repro::data::synthetic::{generate_dataset, SyntheticConfig};
+use cp4rec_repro::data::Split;
+use cp4rec_repro::eval::SequenceScorer;
+use cp4rec_repro::models::checkpoint::save_to_vec;
+use cp4rec_repro::models::{
+    Bert4Rec, Bert4RecConfig, BprMf, BprMfConfig, Caser, CaserConfig, EncoderConfig, Fpmc,
+    FpmcConfig, Gru4Rec, Gru4RecConfig, Ncf, NcfConfig, Pop, SasRec,
+};
+use cp4rec_repro::tensor::topk::top_k;
+use proptest::prelude::*;
+use seqrec_serve::{AnyModel, BatchingServer, Recommendation, ScoringService, ServerConfig};
+
+fn setup() -> (Split, usize) {
+    let mut cfg = SyntheticConfig::beauty(0.01);
+    cfg.num_users = 120;
+    let dataset = generate_dataset(&cfg);
+    let n = dataset.num_items();
+    (Split::leave_one_out(&dataset), n)
+}
+
+/// Every model, trained-or-not, round-tripped through its checkpoint and
+/// loaded behind [`AnyModel`] — exactly what a serving process holds.
+fn zoo(split: &Split, n: usize) -> Vec<AnyModel> {
+    let users = split.num_users();
+    let enc = EncoderConfig { num_items: n, d: 16, heads: 2, layers: 1, max_len: 10, dropout: 0.1 };
+    let caser = CaserConfig {
+        num_items: n,
+        d: 16,
+        window: 4,
+        heights: vec![2, 3],
+        n_h: 4,
+        n_v: 2,
+        dropout: 0.1,
+    };
+    [
+        save_to_vec(&Pop::fit(split)),
+        save_to_vec(&BprMf::new(BprMfConfig { d: 16, ..Default::default() }, users, n, 1)),
+        save_to_vec(&Ncf::new(NcfConfig { d: 16 }, users, n, 2)),
+        save_to_vec(&Fpmc::new(FpmcConfig { d: 16, ..Default::default() }, users, n, 3)),
+        save_to_vec(&Caser::new(caser, users, 4)),
+        save_to_vec(&Gru4Rec::new(
+            Gru4RecConfig { num_items: n, d: 16, max_len: 10, dropout: 0.1 },
+            5,
+        )),
+        save_to_vec(&Bert4Rec::new(Bert4RecConfig { encoder: enc.clone(), mask_prob: 0.3 }, 6)),
+        save_to_vec(&SasRec::new(enc.clone(), 7)),
+        save_to_vec(&Cl4sRec::new(Cl4sRecConfig { encoder: enc, tau: 0.5 }, 8)),
+    ]
+    .into_iter()
+    .map(|bytes| AnyModel::load_from_bytes(&bytes).expect("zoo checkpoint loads"))
+    .collect()
+}
+
+fn bit_eq(a: &[Vec<f32>], b: &[Vec<f32>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+/// Reference top-K: full argsort by (score desc, index asc) — the ranking
+/// the SIMD kernel must reproduce exactly.
+fn brute_force_top_k(scores: &[f32], k: usize) -> Vec<(u32, f32)> {
+    let mut ranked: Vec<(u32, f32)> =
+        scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+#[test]
+fn serve_scores_match_eval_bit_exactly_for_every_model() {
+    let (split, n) = setup();
+    for model in zoo(&split, n) {
+        let kind = model.kind();
+        let users: Vec<usize> = vec![0, 1, 2, 5, split.num_users() - 1, 2];
+        let inputs: Vec<Vec<u32>> = users.iter().map(|&u| split.test_input(u)).collect();
+        let refs: Vec<&[u32]> = inputs.iter().map(Vec::as_slice).collect();
+        let eval_scores = model.score_full_catalog(&users, &refs);
+
+        let mut service = ScoringService::new(model);
+        // Cold pass: every request misses the cache.
+        let cold = service.score_batch(&users, &refs);
+        assert!(bit_eq(&cold, &eval_scores), "{kind}: cold serve path diverged from eval");
+        // Warm pass: every request hits; cached states must reproduce the
+        // same bits.
+        let warm = service.score_batch(&users, &refs);
+        assert!(bit_eq(&warm, &eval_scores), "{kind}: cached serve path diverged from eval");
+        // Batch-composition invariance: each request served alone returns
+        // the identical row it got inside the batch.
+        for (i, (&u, &h)) in users.iter().zip(&refs).enumerate() {
+            service.invalidate_user(u);
+            let solo = service.score_batch(&[u], &[h]);
+            assert!(
+                bit_eq(&solo, &eval_scores[i..i + 1]),
+                "{kind}: request {i} scored differently alone vs in the batch"
+            );
+        }
+    }
+}
+
+#[test]
+fn served_top_k_matches_brute_force_for_every_model() {
+    let (split, n) = setup();
+    for model in zoo(&split, n) {
+        let kind = model.kind();
+        let users = [0usize, 3, 7];
+        let inputs: Vec<Vec<u32>> = users.iter().map(|&u| split.test_input(u)).collect();
+        let refs: Vec<&[u32]> = inputs.iter().map(Vec::as_slice).collect();
+        let eval_scores = model.score_full_catalog(&users, &refs);
+        let mut service = ScoringService::new(model);
+        // K = 1, the catalog, and beyond the catalog.
+        for k in [1usize, n, n + 1] {
+            let served = service.recommend(&users, &refs, k);
+            for (row, scores) in served.iter().zip(&eval_scores) {
+                // The pad id 0 is excluded: brute-force over items 1..=n.
+                let want: Vec<(u32, f32)> = brute_force_top_k(&scores[1..], k)
+                    .into_iter()
+                    .map(|(i, s)| (i + 1, s))
+                    .collect();
+                let got: Vec<(u32, f32)> = row.iter().map(|r| (r.item, r.score)).collect();
+                assert_eq!(got.len(), k.min(n), "{kind}: wrong top-K length at k={k}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.0, w.0, "{kind}: top-K item order diverged at k={k}");
+                    assert_eq!(
+                        g.1.to_bits(),
+                        w.1.to_bits(),
+                        "{kind}: top-K score diverged at k={k}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batching_server_matches_direct_eval() {
+    let (split, n) = setup();
+    let model = AnyModel::load_from_bytes(&save_to_vec(&SasRec::new(
+        EncoderConfig { num_items: n, d: 16, heads: 2, layers: 1, max_len: 10, dropout: 0.1 },
+        7,
+    )))
+    .expect("loads");
+
+    // Expected rankings straight from the evaluator path.
+    let k = 10;
+    let users: Vec<usize> = (0..split.num_users()).collect();
+    let inputs: Vec<Vec<u32>> = users.iter().map(|&u| split.test_input(u)).collect();
+    let refs: Vec<&[u32]> = inputs.iter().map(Vec::as_slice).collect();
+    let expected: Vec<Vec<Recommendation>> = model
+        .score_full_catalog(&users, &refs)
+        .iter()
+        .map(|row| {
+            brute_force_top_k(&row[1..], k)
+                .into_iter()
+                .map(|(i, s)| Recommendation { item: i + 1, score: s })
+                .collect()
+        })
+        .collect();
+
+    // Hammer the server from several threads so requests genuinely coalesce
+    // into mixed batches; every response must equal the offline ranking.
+    let server =
+        BatchingServer::spawn(model, ServerConfig { max_batch: 8, ..ServerConfig::default() });
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let client = server.client();
+            let (users, refs, expected) = (&users, &refs, &expected);
+            scope.spawn(move || {
+                for (i, &u) in users.iter().enumerate() {
+                    if i % 4 != t {
+                        continue;
+                    }
+                    let got = client.recommend(u, refs[i], k).expect("server alive");
+                    assert_eq!(got, expected[i], "user {u}: served ranking != eval ranking");
+                }
+            });
+        }
+    });
+}
+
+proptest! {
+    /// The SIMD top-K kernel reproduces a full argsort on adversarial
+    /// inputs: heavy ties, duplicates, and negatives (scores quantised to
+    /// a handful of values so most positions collide).
+    #[test]
+    fn top_k_kernel_matches_argsort(
+        raw in proptest::collection::vec(-4i32..=4, 1usize..80),
+        k_sel in 0usize..4,
+    ) {
+        let scores: Vec<f32> = raw.iter().map(|&v| v as f32 * 0.5).collect();
+        // K ∈ {1, len/2, len (the catalog), len+1 (beyond it)}.
+        let k = [1, scores.len() / 2, scores.len(), scores.len() + 1][k_sel];
+        let got = top_k(&scores, k);
+        let want = brute_force_top_k(&scores, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.index, w.0);
+            prop_assert_eq!(g.score.to_bits(), w.1.to_bits());
+        }
+    }
+}
