@@ -57,6 +57,15 @@ pub fn serve_specs() -> Vec<MetricSpec> {
         MetricSpec { key: "p99_us", worse: Worse::Higher, tolerance: 1.00 },
         MetricSpec { key: "items_per_sec", worse: Worse::Lower, tolerance: 0.40 },
         MetricSpec { key: "cache_hit_rate", worse: Worse::Lower, tolerance: 0.05 },
+        // Queue depth at p99 is quantised to coarse histogram buckets and
+        // swings hard with scheduler noise; only a multiple-bucket jump
+        // should fail the gate.
+        MetricSpec { key: "queue_depth_p99", worse: Worse::Higher, tolerance: 2.0 },
+        MetricSpec { key: "batch_occupancy_mean_pct", worse: Worse::Lower, tolerance: 0.60 },
+        // The SLO verdict is binary (1 = met, 0 = burned): any drop is a
+        // regression, and a zero tolerance survives smoke's tolerance
+        // scaling (0 × N = 0).
+        MetricSpec { key: "slo_ok", worse: Worse::Lower, tolerance: 0.0 },
     ]
 }
 
@@ -333,6 +342,26 @@ mod tests {
         let fresh = report(&row("SASRec", 1.5, 100.0, 20.0, 50.0));
         assert!(diff(&base, &fresh, &default_specs()).unwrap().failed());
         assert!(!diff(&base, &fresh, &scaled_specs(3.0)).unwrap().failed());
+    }
+
+    #[test]
+    fn slo_verdict_drop_regresses_even_under_smoke_scaling() {
+        let serve_row = |slo: f64| {
+            format!(
+                "{{\"rows\":[{{\"method\":\"SASRec\",\"dataset\":\"beauty\",\
+                 \"p50_us\":500.0,\"p99_us\":2000.0,\"slo_ok\":{slo}}}]}}"
+            )
+        };
+        let base = serve_row(1.0);
+        let burned = serve_row(0.0);
+        let d = diff(&base, &burned, &serve_specs()).unwrap();
+        assert!(d.failed());
+        assert_eq!(d.regressions().len(), 1);
+        assert_eq!(d.regressions()[0].metric, "slo_ok");
+        // The 10× smoke scaling must not excuse a verdict flip (0 × 10 = 0).
+        assert!(diff(&base, &burned, &scale_specs(serve_specs(), 10.0)).unwrap().failed());
+        // An unchanged verdict passes.
+        assert!(!diff(&base, &base, &serve_specs()).unwrap().failed());
     }
 
     #[test]

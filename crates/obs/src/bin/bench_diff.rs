@@ -9,9 +9,11 @@
 //! Tracked metrics and worse-directions with `--specs train` (the
 //! default): `secs_per_epoch` (up), `seqs_per_sec` (down),
 //! `gemm_gflops_per_sec` (down), `peak_tensor_mib` (up). With
-//! `--specs serve` (for `BENCH_serve.json`): `p50_us`/`p99_us` (up),
-//! `items_per_sec`/`cache_hit_rate` (down). Improvements never fail the
-//! gate.
+//! `--specs serve` (for `BENCH_serve.json`): `p50_us`/`p99_us`/
+//! `queue_depth_p99` (up), `items_per_sec`/`cache_hit_rate`/
+//! `batch_occupancy_mean_pct` (down), and the binary SLO verdict
+//! `slo_ok` (any drop fails, even in smoke mode). Improvements never
+//! fail the gate.
 
 use std::process::ExitCode;
 

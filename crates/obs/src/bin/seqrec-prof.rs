@@ -11,10 +11,14 @@
 //! `--folded PATH` additionally writes collapsed stacks
 //! (`epoch;batch;forward 1234` lines) for inferno-flamegraph or
 //! speedscope.
+//!
+//! A trace holding serve request events (`bench_serve` under
+//! `SEQREC_OBS=jsonl=...`) additionally gets a per-stage request-latency
+//! profile (enqueue/batch/encode/score/topk/reply).
 
 use std::process::ExitCode;
 
-use seqrec_obs::profile::{parse_auto, Profile};
+use seqrec_obs::profile::{parse_auto, parse_requests_auto, Profile, RequestProfile};
 
 const USAGE: &str = "\
 usage: seqrec-prof TRACE [--top N] [--folded PATH]
@@ -103,6 +107,18 @@ fn main() -> ExitCode {
     println!("{:>12} {:>12} {:>8}  path", "excl(ms)", "incl(ms)", "calls");
     for (path, excl, incl, count) in profile.top_exclusive(args.top) {
         println!("{:>12.3} {:>12.3} {:>8}  {}", excl as f64 / 1e3, incl as f64 / 1e3, count, path);
+    }
+
+    match parse_requests_auto(&text) {
+        Ok(reqs) if !reqs.is_empty() => {
+            println!("\n== serve request stages ==");
+            print!("{}", RequestProfile::build(&reqs).render());
+        }
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("seqrec-prof: {}: {e}", args.trace);
+            return ExitCode::FAILURE;
+        }
     }
 
     if let Some(path) = &args.folded {

@@ -41,11 +41,14 @@
 //! | `console=LEVEL`  | console verbosity: `silent`/`info`/`debug` (or 0–2) |
 //! | `jsonl=PATH`     | stream events as one JSON object per line to PATH |
 //! | `chrome=PATH`    | write a Chrome trace-event JSON array to PATH     |
+//! | `expo=PATH`      | dump a Prometheus-style exposition to PATH at exit |
+//! | `window=SECS`    | rolling-window length for live metrics (default 10) |
 //! | `detail`         | also emit per-kernel-call spans (large traces)    |
 
 #![warn(missing_docs)]
 
 pub mod benchdiff;
+pub mod expo;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
@@ -125,15 +128,21 @@ SEQREC_OBS is a comma-separated list of directives:
   jsonl=PATH      stream events as one JSON object per line to PATH
   chrome=PATH     write a Chrome trace-event JSON array to PATH
                   (open in chrome://tracing or https://ui.perfetto.dev)
+  expo=PATH       dump a Prometheus-style text exposition of the metric
+                  registry to PATH when the process finishes
+                  (the live TCP endpoint is serve-side: bench_serve --expo)
+  window=SECS     rolling-window length for live windowed metrics
+                  (p50/p95/p99 latency, queue depth, ...; default 10)
   detail          also emit per-kernel-call spans (large traces)
   help            print this grammar and exit
 examples:
   SEQREC_OBS=console=debug
   SEQREC_OBS=jsonl=run.jsonl,detail
-  SEQREC_OBS=chrome=trace.json,console=silent";
+  SEQREC_OBS=chrome=trace.json,console=silent
+  SEQREC_OBS=expo=metrics.prom,window=5";
 
 /// One parsed `SEQREC_OBS` configuration.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ObsConfig {
     /// Console level override, if given.
     pub console: Option<u8>,
@@ -141,6 +150,10 @@ pub struct ObsConfig {
     pub jsonl: Option<String>,
     /// Chrome-trace sink path, if given.
     pub chrome: Option<String>,
+    /// Exposition dump path, if given (written when the guard drops).
+    pub expo: Option<String>,
+    /// Rolling-window length override in seconds, if given.
+    pub window_secs: Option<f64>,
     /// Whether per-kernel detail spans were requested.
     pub detail: bool,
 }
@@ -174,6 +187,15 @@ impl ObsConfig {
                 ("chrome", Some(path)) if !path.is_empty() => {
                     cfg.chrome = Some(path.to_string());
                 }
+                ("expo", Some(path)) if !path.is_empty() => {
+                    cfg.expo = Some(path.to_string());
+                }
+                ("window", Some(v)) => match v.parse::<f64>() {
+                    Ok(secs) if secs > 0.0 && secs.is_finite() => cfg.window_secs = Some(secs),
+                    _ => {
+                        return Err(format!("window wants a positive number of seconds, got `{v}`"))
+                    }
+                },
                 ("detail", None) | ("detail", Some("1")) | ("detail", Some("true")) => {
                     cfg.detail = true;
                 }
@@ -186,10 +208,11 @@ impl ObsConfig {
 
 /// RAII handle returned by [`init_from_env`] / [`init_with`]; dropping it
 /// writes a final metrics snapshot into the sink, flushes and finalises it
-/// (a Chrome trace gets its closing `]` here) and uninstalls it.
+/// (a Chrome trace gets its closing `]` here), dumps the exposition file
+/// if one was requested, and uninstalls the sink.
 #[must_use = "telemetry is flushed and finalised when this guard drops"]
 pub struct ObsGuard {
-    _private: (),
+    expo: Option<String>,
 }
 
 impl Drop for ObsGuard {
@@ -198,6 +221,11 @@ impl Drop for ObsGuard {
             metrics::emit_snapshot();
         }
         sink::uninstall();
+        if let Some(path) = &self.expo {
+            if let Err(e) = std::fs::write(path, expo::render(&metrics::snapshot())) {
+                eprintln!("seqrec-obs: cannot write exposition dump {path}: {e}");
+            }
+        }
     }
 }
 
@@ -233,6 +261,9 @@ pub fn init_with(cfg: &ObsConfig) -> ObsGuard {
     if let Some(level) = cfg.console {
         set_console_level(level);
     }
+    if let Some(secs) = cfg.window_secs {
+        metrics::set_window_secs(secs);
+    }
     sink::set_detail(cfg.detail);
     let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     if let Some(path) = &cfg.jsonl {
@@ -250,7 +281,7 @@ pub fn init_with(cfg: &ObsConfig) -> ObsGuard {
         1 => sink::install(sinks.pop().expect("one sink")),
         _ => sink::install(Arc::new(Fanout::new(sinks))),
     }
-    ObsGuard { _private: () }
+    ObsGuard { expo: cfg.expo.clone() }
 }
 
 #[cfg(test)]
@@ -259,11 +290,16 @@ mod tests {
 
     #[test]
     fn parses_the_full_grammar() {
-        let cfg = ObsConfig::parse("console=debug, jsonl=/tmp/a.jsonl,chrome=/tmp/b.json,detail")
-            .unwrap();
+        let cfg = ObsConfig::parse(
+            "console=debug, jsonl=/tmp/a.jsonl,chrome=/tmp/b.json,\
+             expo=/tmp/c.prom,window=2.5,detail",
+        )
+        .unwrap();
         assert_eq!(cfg.console, Some(LEVEL_DEBUG));
         assert_eq!(cfg.jsonl.as_deref(), Some("/tmp/a.jsonl"));
         assert_eq!(cfg.chrome.as_deref(), Some("/tmp/b.json"));
+        assert_eq!(cfg.expo.as_deref(), Some("/tmp/c.prom"));
+        assert_eq!(cfg.window_secs, Some(2.5));
         assert!(cfg.detail);
     }
 
@@ -286,5 +322,8 @@ mod tests {
         assert!(ObsConfig::parse("jsnol=/tmp/x").is_err());
         assert!(ObsConfig::parse("console=loud").is_err());
         assert!(ObsConfig::parse("jsonl=").is_err());
+        assert!(ObsConfig::parse("window=zero").is_err());
+        assert!(ObsConfig::parse("window=-1").is_err());
+        assert!(ObsConfig::parse("expo=").is_err());
     }
 }

@@ -13,11 +13,30 @@
 //!   maximum.
 //! * [`Histogram`] — fixed upper-inclusive buckets: a sample lands in the
 //!   first bucket whose bound is `>= value`, or in the overflow bucket when
-//!   it exceeds every bound.
+//!   it exceeds every bound. Each histogram also carries a total sample
+//!   count and a (wrapping) value sum, so means and Prometheus-style
+//!   `_count`/`_sum` series come for free.
+//! * [`WindowedHistogram`] / [`WindowedCounter`] — the rolling-window
+//!   variants behind live serving metrics: a ring of fixed-bucket epochs
+//!   keyed by the trace clock, so p50/p95/p99 latency, queue depth, batch
+//!   occupancy and cache hit rate are queryable *mid-run*, not only at
+//!   shutdown. Window length is process-global ([`set_window_secs`],
+//!   `SEQREC_OBS=window=SECS`).
 //!
 //! The well-known instruments of the training stack are declared here as
 //! statics ([`GEMM_FLOPS`], [`TAPE_NODES`], …) and enumerated by
-//! [`snapshot`], which is also what sinks serialise on flush.
+//! [`snapshot`], which is also what sinks serialise on flush and what the
+//! Prometheus-style exposition ([`crate::expo`]) renders.
+//!
+//! ## Snapshot consistency
+//!
+//! Probes are relaxed atomics, so a snapshot taken under concurrent
+//! mutation is not a serialised cut — but it never *tears* in the
+//! directions that matter: a histogram's per-bucket counts are read
+//! before its total (and [`Histogram::record`] bumps the total first),
+//! so `sum(buckets) + overflow <= total` holds in every scrape, and
+//! counter/total readings are monotonic across scrapes
+//! (`tests/metrics_concurrency.rs` hammers this from a real pool).
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
 
@@ -25,6 +44,39 @@ use crate::sink;
 
 /// Maximum number of explicit histogram buckets (excluding overflow).
 pub const MAX_BUCKETS: usize = 24;
+
+/// Number of epochs in a rolling window ring. The window is divided into
+/// this many epochs; expiry granularity is one epoch.
+pub const WINDOW_SLOTS: usize = 8;
+
+/// The process-global rolling-window length in microseconds (default 10s).
+/// One atomic so every windowed instrument resizes together.
+static WINDOW_US: AtomicU64 = AtomicU64::new(10_000_000);
+
+/// Sets the rolling-window length for every windowed instrument. Values
+/// are clamped to at least `WINDOW_SLOTS` milliseconds so each epoch stays
+/// a non-zero number of microseconds. Normally set once at startup from
+/// the `SEQREC_OBS=window=SECS` directive; resizing mid-run effectively
+/// restarts the windows (epoch numbering changes).
+pub fn set_window_secs(secs: f64) {
+    let us = (secs * 1e6).clamp(WINDOW_SLOTS as f64 * 1_000.0, 1e15) as u64;
+    WINDOW_US.store(us, Relaxed);
+}
+
+/// The current rolling-window length in microseconds.
+pub fn window_us() -> u64 {
+    WINDOW_US.load(Relaxed)
+}
+
+fn epoch_len_us() -> u64 {
+    (window_us() / WINDOW_SLOTS as u64).max(1)
+}
+
+/// The current window epoch number, offset by one so `0` can tag an
+/// empty slot.
+fn current_epoch() -> u64 {
+    sink::now_us() / epoch_len_us() + 1
+}
 
 /// A wrapping, monotonically increasing event counter.
 pub struct Counter {
@@ -117,6 +169,8 @@ pub struct Histogram {
     bounds: &'static [u64],
     counts: [AtomicU64; MAX_BUCKETS],
     overflow: AtomicU64,
+    total: AtomicU64,
+    sum: AtomicU64,
 }
 
 impl Histogram {
@@ -128,13 +182,19 @@ impl Histogram {
             bounds,
             counts: [const { AtomicU64::new(0) }; MAX_BUCKETS],
             overflow: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
         }
     }
 
     /// Records one sample: the first bucket with `bound >= value`, or the
-    /// overflow bucket.
+    /// overflow bucket. The total is bumped *before* the bucket so that a
+    /// concurrent snapshot (which reads buckets first) never observes
+    /// `sum(buckets) + overflow > total`.
     #[inline]
     pub fn record(&self, value: u64) {
+        self.total.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
         for (i, &b) in self.bounds.iter().enumerate() {
             if value <= b {
                 self.counts[i].fetch_add(1, Relaxed);
@@ -159,9 +219,27 @@ impl Histogram {
         self.overflow.load(Relaxed)
     }
 
-    /// Total samples recorded.
+    /// Total samples recorded. Under concurrent recording this is `>=`
+    /// the sum of the bucket counts read afterwards (see [`record`]).
+    ///
+    /// [`record`]: Histogram::record
     pub fn total(&self) -> u64 {
-        self.counts().iter().sum::<u64>() + self.overflow()
+        self.total.load(Relaxed)
+    }
+
+    /// Sum of all recorded values (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// A bucket-resolution estimate of the `q`-quantile (`0.0..=1.0`):
+    /// the smallest bound whose cumulative count reaches `ceil(q·total)`,
+    /// or `u64::MAX` when it lands in the overflow region. `None` on an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts = self.counts();
+        let overflow = self.overflow();
+        histogram_quantile(self.bounds, &counts, overflow, q)
     }
 
     /// The registry name.
@@ -175,6 +253,262 @@ impl Histogram {
             c.store(0, Relaxed);
         }
         self.overflow.store(0, Relaxed);
+        self.total.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+    }
+}
+
+/// The `q`-quantile of a fixed-bucket distribution at bucket resolution:
+/// the smallest bound whose cumulative count reaches `ceil(q·n)` where `n`
+/// is the number of samples in the buckets (including overflow). Samples
+/// in the overflow region report `u64::MAX`. Returns `None` when empty.
+pub fn histogram_quantile(bounds: &[u64], counts: &[u64], overflow: u64, q: f64) -> Option<u64> {
+    let n: u64 = counts.iter().sum::<u64>() + overflow;
+    if n == 0 {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for (&b, &c) in bounds.iter().zip(counts) {
+        cum += c;
+        if cum >= rank {
+            return Some(b);
+        }
+    }
+    Some(u64::MAX)
+}
+
+// --- rolling-window instruments ---------------------------------------------
+
+/// One epoch of a rolling window: tagged with `epoch + 1` (0 = never used)
+/// and claimed by CAS when the ring wraps onto it.
+struct WindowSlot {
+    epoch: AtomicU64,
+    counts: [AtomicU64; MAX_BUCKETS],
+    overflow: AtomicU64,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl WindowSlot {
+    const fn new() -> Self {
+        WindowSlot {
+            epoch: AtomicU64::new(0),
+            counts: [const { AtomicU64::new(0) }; MAX_BUCKETS],
+            overflow: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn clear(&self) {
+        for c in &self.counts {
+            c.store(0, Relaxed);
+        }
+        self.overflow.store(0, Relaxed);
+        self.total.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+    }
+
+    /// Ensures the slot is tagged for `epoch`, zeroing it if this thread
+    /// wins the rotation CAS. Returns `false` if the slot is owned by a
+    /// *newer* epoch (the recording thread is so stale its sample has
+    /// already expired — drop it).
+    fn claim(&self, epoch: u64) -> bool {
+        loop {
+            let tag = self.epoch.load(Relaxed);
+            if tag == epoch {
+                return true;
+            }
+            if tag > epoch {
+                return false;
+            }
+            if self.epoch.compare_exchange(tag, epoch, Relaxed, Relaxed).is_ok() {
+                // Winner zeroes the recycled slot. Samples recorded into the
+                // old epoch between the CAS and the clear are lost — bounded,
+                // rotation-instant-only loss, acceptable for a live window.
+                self.clear();
+                return true;
+            }
+        }
+    }
+}
+
+/// An aggregated read of a rolling window.
+pub struct WindowSnapshot {
+    /// Window length the snapshot covers (µs).
+    pub window_us: u64,
+    /// Upper-inclusive bucket bounds (empty for windowed counters).
+    pub bounds: &'static [u64],
+    /// Per-bucket sample counts over the live epochs.
+    pub counts: Vec<u64>,
+    /// Samples above every bound.
+    pub overflow: u64,
+    /// Total samples in the window.
+    pub total: u64,
+    /// Sum of sample values in the window (wrapping).
+    pub sum: u64,
+}
+
+impl WindowSnapshot {
+    /// Bucket-resolution quantile estimate over the window; `None` when
+    /// the window is empty. See [`histogram_quantile`].
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        histogram_quantile(self.bounds, &self.counts, self.overflow, q)
+    }
+
+    /// Mean sample value over the window; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+}
+
+/// A rolling-window histogram: a ring of [`WINDOW_SLOTS`] fixed-bucket
+/// epochs keyed by the trace clock. Recording lands in the current epoch's
+/// slot; reading aggregates every slot whose epoch is still inside the
+/// window, so quantiles reflect roughly the last [`window_us`] of samples
+/// (expiry granularity one epoch).
+pub struct WindowedHistogram {
+    name: &'static str,
+    bounds: &'static [u64],
+    slots: [WindowSlot; WINDOW_SLOTS],
+}
+
+impl WindowedHistogram {
+    /// A new rolling-window histogram over `bounds`.
+    pub const fn new(name: &'static str, bounds: &'static [u64]) -> Self {
+        assert!(bounds.len() <= MAX_BUCKETS, "too many histogram buckets");
+        WindowedHistogram { name, bounds, slots: [const { WindowSlot::new() }; WINDOW_SLOTS] }
+    }
+
+    /// Records one sample into the current epoch.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let epoch = current_epoch();
+        let slot = &self.slots[(epoch % WINDOW_SLOTS as u64) as usize];
+        if !slot.claim(epoch) {
+            return;
+        }
+        slot.total.fetch_add(1, Relaxed);
+        slot.sum.fetch_add(value, Relaxed);
+        for (i, &b) in self.bounds.iter().enumerate() {
+            if value <= b {
+                slot.counts[i].fetch_add(1, Relaxed);
+                return;
+            }
+        }
+        slot.overflow.fetch_add(1, Relaxed);
+    }
+
+    /// The bucket bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Aggregates the live epochs into one [`WindowSnapshot`].
+    pub fn window_snapshot(&self) -> WindowSnapshot {
+        let now_epoch = current_epoch();
+        let oldest_live = now_epoch.saturating_sub(WINDOW_SLOTS as u64 - 1);
+        let mut counts = vec![0u64; self.bounds.len()];
+        let mut overflow = 0u64;
+        let mut total = 0u64;
+        let mut sum = 0u64;
+        for slot in &self.slots {
+            let tag = slot.epoch.load(Relaxed);
+            if tag < oldest_live || tag > now_epoch {
+                continue;
+            }
+            // Buckets before total: a sample concurrent with this read may be
+            // counted in total but not yet in a bucket, never the reverse.
+            let slot_counts: Vec<u64> =
+                self.bounds.iter().enumerate().map(|(i, _)| slot.counts[i].load(Relaxed)).collect();
+            let slot_overflow = slot.overflow.load(Relaxed);
+            if slot.epoch.load(Relaxed) != tag {
+                continue; // rotated under us; its samples just expired
+            }
+            for (c, s) in counts.iter_mut().zip(&slot_counts) {
+                *c += s;
+            }
+            overflow += slot_overflow;
+            total += slot_counts.iter().sum::<u64>() + slot_overflow;
+            sum = sum.wrapping_add(slot.sum.load(Relaxed));
+        }
+        WindowSnapshot { window_us: window_us(), bounds: self.bounds, counts, overflow, total, sum }
+    }
+
+    /// Resets every epoch (benchmark harnesses and tests).
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.epoch.store(0, Relaxed);
+            slot.clear();
+        }
+    }
+}
+
+/// A rolling-window counter: the same epoch ring as [`WindowedHistogram`]
+/// but holding only a per-epoch sum, for rates like cache hits over the
+/// last window.
+pub struct WindowedCounter {
+    name: &'static str,
+    slots: [WindowSlot; WINDOW_SLOTS],
+}
+
+impl WindowedCounter {
+    /// A new rolling-window counter.
+    pub const fn new(name: &'static str) -> Self {
+        WindowedCounter { name, slots: [const { WindowSlot::new() }; WINDOW_SLOTS] }
+    }
+
+    /// Adds `n` to the current epoch.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let epoch = current_epoch();
+        let slot = &self.slots[(epoch % WINDOW_SLOTS as u64) as usize];
+        if slot.claim(epoch) {
+            slot.sum.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Adds one to the current epoch.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The sum over the live epochs.
+    pub fn windowed_value(&self) -> u64 {
+        let now_epoch = current_epoch();
+        let oldest_live = now_epoch.saturating_sub(WINDOW_SLOTS as u64 - 1);
+        let mut sum = 0u64;
+        for slot in &self.slots {
+            let tag = slot.epoch.load(Relaxed);
+            if tag >= oldest_live && tag <= now_epoch {
+                sum = sum.wrapping_add(slot.sum.load(Relaxed));
+            }
+        }
+        sum
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets every epoch.
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.epoch.store(0, Relaxed);
+            slot.clear();
+        }
     }
 }
 
@@ -246,6 +580,48 @@ pub static SERVE_BATCH_US: Histogram = Histogram::new(
     "serve.batch_us",
     &[100, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000],
 );
+/// Requests that failed (client gone before reply, or scoring error).
+pub static SERVE_ERRORS: Counter = Counter::new("serve.errors");
+/// Queued-but-unserved requests (level at enqueue/admit; peak = deepest
+/// backlog).
+pub static SERVE_QUEUE: Gauge = Gauge::new("serve.queue");
+/// Requests admitted to a batch but not yet replied to.
+pub static SERVE_IN_FLIGHT: Gauge = Gauge::new("serve.in_flight");
+
+/// Bucket bounds shared by the cumulative and windowed serve-latency
+/// histograms (µs).
+pub const SERVE_LATENCY_BOUNDS: &[u64] = &[
+    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 500_000, 1_000_000,
+    5_000_000,
+];
+/// Bucket bounds for queue-depth histograms (requests waiting).
+pub const SERVE_QUEUE_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+/// Bucket bounds for batch-occupancy histograms (percent of `max_batch`).
+pub const SERVE_OCCUPANCY_BOUNDS: &[u64] = &[1, 5, 10, 25, 50, 75, 90, 100];
+
+/// Distribution of client-observed request latency (µs), enqueue → reply.
+pub static SERVE_LATENCY_US: Histogram = Histogram::new("serve.latency_us", SERVE_LATENCY_BOUNDS);
+/// Rolling-window view of [`SERVE_LATENCY_US`]: live p50/p95/p99.
+pub static SERVE_LATENCY_US_WINDOW: WindowedHistogram =
+    WindowedHistogram::new("serve.latency_us.window", SERVE_LATENCY_BOUNDS);
+/// Distribution of queue depth observed at batch admission.
+pub static SERVE_QUEUE_DEPTH: Histogram = Histogram::new("serve.queue_depth", SERVE_QUEUE_BOUNDS);
+/// Rolling-window view of [`SERVE_QUEUE_DEPTH`].
+pub static SERVE_QUEUE_DEPTH_WINDOW: WindowedHistogram =
+    WindowedHistogram::new("serve.queue_depth.window", SERVE_QUEUE_BOUNDS);
+/// Distribution of batch occupancy (batch size as a percent of
+/// `max_batch`) per executed serve batch.
+pub static SERVE_BATCH_OCCUPANCY_PCT: Histogram =
+    Histogram::new("serve.batch_occupancy_pct", SERVE_OCCUPANCY_BOUNDS);
+/// Rolling-window view of [`SERVE_BATCH_OCCUPANCY_PCT`].
+pub static SERVE_BATCH_OCCUPANCY_PCT_WINDOW: WindowedHistogram =
+    WindowedHistogram::new("serve.batch_occupancy_pct.window", SERVE_OCCUPANCY_BOUNDS);
+/// Rolling-window cache hits (live hit rate = hits / (hits + misses)).
+pub static SERVE_CACHE_HITS_WINDOW: WindowedCounter =
+    WindowedCounter::new("serve.cache.hits.window");
+/// Rolling-window cache misses.
+pub static SERVE_CACHE_MISSES_WINDOW: WindowedCounter =
+    WindowedCounter::new("serve.cache.misses.window");
 
 /// Records a non-negative float into a scaled histogram: `value * scale`,
 /// saturating, with NaN/Inf mapped to `u64::MAX` (the overflow bucket).
@@ -277,6 +653,33 @@ pub enum MetricValue {
         counts: Vec<u64>,
         /// Samples above every bound.
         overflow: u64,
+        /// Total samples recorded (may exceed `sum(counts) + overflow`
+        /// under concurrent recording; never less).
+        total: u64,
+        /// Sum of recorded values (wrapping).
+        sum: u64,
+    },
+    /// A rolling-window histogram's live epochs.
+    Window {
+        /// Window length covered (µs).
+        window_us: u64,
+        /// Upper-inclusive bucket bounds.
+        bounds: &'static [u64],
+        /// Per-bucket sample counts over the window.
+        counts: Vec<u64>,
+        /// Samples above every bound.
+        overflow: u64,
+        /// Total samples in the window.
+        total: u64,
+        /// Sum of sample values in the window (wrapping).
+        sum: u64,
+    },
+    /// A rolling-window counter's live sum.
+    WindowCount {
+        /// Window length covered (µs).
+        window_us: u64,
+        /// Sum over the window.
+        value: u64,
     },
 }
 
@@ -288,7 +691,7 @@ pub struct MetricReading {
     pub value: MetricValue,
 }
 
-fn counters() -> [&'static Counter; 14] {
+fn counters() -> [&'static Counter; 15] {
     [
         &GEMM_FLOPS,
         &GEMM_CALLS,
@@ -304,14 +707,15 @@ fn counters() -> [&'static Counter; 14] {
         &SERVE_CACHE_HITS,
         &SERVE_CACHE_MISSES,
         &SERVE_BATCHES,
+        &SERVE_ERRORS,
     ]
 }
 
-fn gauges() -> [&'static Gauge; 1] {
-    [&TENSOR_LIVE_BYTES]
+fn gauges() -> [&'static Gauge; 3] {
+    [&TENSOR_LIVE_BYTES, &SERVE_QUEUE, &SERVE_IN_FLIGHT]
 }
 
-fn histograms() -> [&'static Histogram; 6] {
+fn histograms() -> [&'static Histogram; 9] {
     [
         &GEMM_FLOPS_PER_CALL,
         &TRAIN_BATCH_US,
@@ -319,7 +723,18 @@ fn histograms() -> [&'static Histogram; 6] {
         &UPDATE_RATIO_MICRO,
         &DP_SHARD_LOSS_SPREAD_MILLI,
         &SERVE_BATCH_US,
+        &SERVE_LATENCY_US,
+        &SERVE_QUEUE_DEPTH,
+        &SERVE_BATCH_OCCUPANCY_PCT,
     ]
+}
+
+fn windowed_histograms() -> [&'static WindowedHistogram; 3] {
+    [&SERVE_LATENCY_US_WINDOW, &SERVE_QUEUE_DEPTH_WINDOW, &SERVE_BATCH_OCCUPANCY_PCT_WINDOW]
+}
+
+fn windowed_counters() -> [&'static WindowedCounter; 2] {
+    [&SERVE_CACHE_HITS_WINDOW, &SERVE_CACHE_MISSES_WINDOW]
 }
 
 /// Reads every registered metric.
@@ -335,13 +750,38 @@ pub fn snapshot() -> Vec<MetricReading> {
         });
     }
     for h in histograms() {
+        // Buckets before total: never observe sum(buckets) > total.
+        let counts = h.counts();
+        let overflow = h.overflow();
         out.push(MetricReading {
             name: h.name(),
             value: MetricValue::Histogram {
                 bounds: h.bounds(),
-                counts: h.counts(),
-                overflow: h.overflow(),
+                counts,
+                overflow,
+                total: h.total(),
+                sum: h.sum(),
             },
+        });
+    }
+    for w in windowed_histograms() {
+        let s = w.window_snapshot();
+        out.push(MetricReading {
+            name: w.name(),
+            value: MetricValue::Window {
+                window_us: s.window_us,
+                bounds: s.bounds,
+                counts: s.counts,
+                overflow: s.overflow,
+                total: s.total,
+                sum: s.sum,
+            },
+        });
+    }
+    for w in windowed_counters() {
+        out.push(MetricReading {
+            name: w.name(),
+            value: MetricValue::WindowCount { window_us: window_us(), value: w.windowed_value() },
         });
     }
     out
@@ -358,6 +798,12 @@ pub fn reset_all() {
     }
     for h in histograms() {
         h.reset();
+    }
+    for w in windowed_histograms() {
+        w.reset();
+    }
+    for w in windowed_counters() {
+        w.reset();
     }
 }
 
@@ -379,12 +825,24 @@ pub fn emit_snapshot() {
                 emit(&format!("{}.current", reading.name), current.max(0) as u64);
                 emit(&format!("{}.peak", reading.name), peak.max(0) as u64);
             }
-            MetricValue::Histogram { bounds, counts, overflow } => {
+            MetricValue::Histogram { bounds, counts, overflow, total, sum } => {
                 for (b, c) in bounds.iter().zip(&counts) {
                     emit(&format!("{}.le_{b}", reading.name), *c);
                 }
                 emit(&format!("{}.overflow", reading.name), overflow);
+                emit(&format!("{}.total", reading.name), total);
+                emit(&format!("{}.sum", reading.name), sum);
             }
+            MetricValue::Window { window_us, bounds, counts, overflow, total, sum } => {
+                let snap = WindowSnapshot { window_us, bounds, counts, overflow, total, sum };
+                for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                    if let Some(v) = snap.quantile(q) {
+                        emit(&format!("{}.{label}", reading.name), v);
+                    }
+                }
+                emit(&format!("{}.count", reading.name), snap.total);
+            }
+            MetricValue::WindowCount { value, .. } => emit(reading.name, value),
         }
     }
 }
@@ -469,8 +927,106 @@ mod tests {
             "tensor.live_bytes",
             "train.batches",
             "gemm.flops_per_call",
+            "serve.latency_us",
+            "serve.latency_us.window",
+            "serve.queue_depth.window",
+            "serve.batch_occupancy_pct.window",
+            "serve.cache.hits.window",
+            "serve.queue",
+            "serve.in_flight",
         ] {
             assert!(names.contains(&expected), "snapshot missing {expected}: {names:?}");
         }
+    }
+
+    #[test]
+    fn histogram_tracks_total_and_sum() {
+        static H: Histogram = Histogram::new("t", &[10, 100]);
+        H.reset();
+        H.record(5);
+        H.record(50);
+        H.record(500);
+        assert_eq!(H.total(), 3);
+        assert_eq!(H.sum(), 555);
+        H.reset();
+        assert_eq!(H.total(), 0);
+        assert_eq!(H.sum(), 0);
+    }
+
+    #[test]
+    fn quantile_picks_smallest_covering_bound() {
+        static H: Histogram = Histogram::new("t", &[10, 100, 1_000]);
+        H.reset();
+        for _ in 0..90 {
+            H.record(5); // bucket 0
+        }
+        for _ in 0..9 {
+            H.record(50); // bucket 1
+        }
+        H.record(5_000); // overflow
+        assert_eq!(H.quantile(0.5), Some(10));
+        assert_eq!(H.quantile(0.9), Some(10));
+        assert_eq!(H.quantile(0.95), Some(100));
+        assert_eq!(H.quantile(0.999), Some(u64::MAX));
+        H.reset();
+        assert_eq!(H.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_its_bound() {
+        assert_eq!(histogram_quantile(&[10, 100], &[0, 1], 0, 0.0), Some(100));
+        assert_eq!(histogram_quantile(&[10, 100], &[0, 1], 0, 1.0), Some(100));
+        assert_eq!(histogram_quantile(&[10, 100], &[0, 0], 0, 0.5), None);
+    }
+
+    #[test]
+    fn windowed_histogram_sees_recent_samples() {
+        static W: WindowedHistogram = WindowedHistogram::new("t", &[10, 100, 1_000]);
+        W.reset();
+        for v in [5, 50, 500, 5_000] {
+            W.record(v);
+        }
+        let s = W.window_snapshot();
+        assert_eq!(s.total, 4);
+        assert_eq!(s.counts, vec![1, 1, 1]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.sum, 5_555);
+        assert_eq!(s.quantile(0.5), Some(100));
+        assert_eq!(s.mean(), Some(5_555.0 / 4.0));
+        W.reset();
+        assert_eq!(W.window_snapshot().total, 0);
+    }
+
+    #[test]
+    fn windowed_counter_sums_recent_adds() {
+        static W: WindowedCounter = WindowedCounter::new("t");
+        W.reset();
+        W.add(3);
+        W.incr();
+        assert_eq!(W.windowed_value(), 4);
+        W.reset();
+        assert_eq!(W.windowed_value(), 0);
+    }
+
+    #[test]
+    fn window_slot_rejects_stale_epochs() {
+        let slot = WindowSlot::new();
+        assert!(slot.claim(5));
+        slot.sum.fetch_add(7, Relaxed);
+        assert!(slot.claim(5)); // same epoch keeps data
+        assert_eq!(slot.sum.load(Relaxed), 7);
+        assert!(!slot.claim(3)); // older epoch is refused
+        assert!(slot.claim(9)); // newer epoch recycles the slot
+        assert_eq!(slot.sum.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn set_window_clamps_to_slot_granularity() {
+        let before = window_us();
+        set_window_secs(0.0);
+        assert_eq!(window_us(), WINDOW_SLOTS as u64 * 1_000);
+        set_window_secs(10.0);
+        assert_eq!(window_us(), 10_000_000);
+        WINDOW_US.store(before, Relaxed);
     }
 }

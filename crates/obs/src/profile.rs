@@ -48,7 +48,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<SpanEvent>, String> {
         let begin = match ev {
             "span_begin" => true,
             "span_end" => false,
-            "log" | "counter" => continue,
+            "log" | "counter" | "request" => continue,
             other => return Err(format!("line {}: unknown event kind `{other}`", i + 1)),
         };
         events.push(SpanEvent {
@@ -316,6 +316,213 @@ impl Profile {
     }
 }
 
+// --- request-lifecycle traces ------------------------------------------------
+
+/// One serve-request stage extracted from a trace
+/// (`{"ev":"request",...}` JSONL lines, or `"ph":"X"` / `"cat":"serve"`
+/// Chrome events named `req.<stage>`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestEvent {
+    /// Monotonic request id.
+    pub req: u64,
+    /// The scored user.
+    pub user: u64,
+    /// Stage name (`enqueue`, `batch`, `encode`, `score`, `topk`, `reply`).
+    pub stage: String,
+    /// Thread the stage ran on.
+    pub tid: u64,
+    /// Stage start, microseconds since the trace epoch.
+    pub ts_us: u64,
+    /// Stage duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Extracts the request events of a JSONL trace; everything else is
+/// skipped (the complement of [`parse_jsonl`]).
+///
+/// # Errors
+/// Returns a message naming the offending line on malformed JSON or a
+/// request event missing a field.
+pub fn parse_requests_jsonl(text: &str) -> Result<Vec<RequestEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
+        if v.get("ev").and_then(Value::as_str) != Some("request") {
+            continue;
+        }
+        let field = |key: &str| {
+            field_u64(&v, key).ok_or_else(|| format!("line {}: missing \"{key}\"", i + 1))
+        };
+        events.push(RequestEvent {
+            req: field("req")?,
+            user: field("user")?,
+            stage: v
+                .get("stage")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: request without \"stage\"", i + 1))?
+                .to_string(),
+            tid: field("tid")?,
+            ts_us: field("ts_us")?,
+            dur_us: field("dur_us")?,
+        });
+    }
+    Ok(events)
+}
+
+/// Extracts the request events of a Chrome trace: `X` complete events in
+/// the `serve` category, named `req.<stage>`, with `args.req`/`args.user`.
+///
+/// # Errors
+/// Returns a message on malformed JSON or a serve `X` event missing a
+/// field.
+pub fn parse_requests_chrome(text: &str) -> Result<Vec<RequestEvent>, String> {
+    let v = json::parse(text).map_err(|e| format!("invalid Chrome trace JSON: {e}"))?;
+    let arr = match &v {
+        Value::Arr(items) => items,
+        _ => return Err("Chrome trace must be a JSON array of events".to_string()),
+    };
+    let mut events = Vec::new();
+    for (i, item) in arr.iter().enumerate() {
+        if item.get("ph").and_then(Value::as_str) != Some("X")
+            || item.get("cat").and_then(Value::as_str) != Some("serve")
+        {
+            continue;
+        }
+        let name = item
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: serve X event without \"name\""))?;
+        let stage = name.strip_prefix("req.").ok_or_else(|| {
+            format!("event {i}: serve X event named `{name}`, want `req.<stage>`")
+        })?;
+        let args =
+            item.get("args").ok_or_else(|| format!("event {i}: serve X event without args"))?;
+        events.push(RequestEvent {
+            req: field_u64(args, "req").ok_or_else(|| format!("event {i}: missing args.req"))?,
+            user: field_u64(args, "user").ok_or_else(|| format!("event {i}: missing args.user"))?,
+            stage: stage.to_string(),
+            tid: field_u64(item, "tid").ok_or_else(|| format!("event {i}: missing \"tid\""))?,
+            ts_us: field_u64(item, "ts").ok_or_else(|| format!("event {i}: missing \"ts\""))?,
+            dur_us: field_u64(item, "dur").ok_or_else(|| format!("event {i}: missing \"dur\""))?,
+        });
+    }
+    Ok(events)
+}
+
+/// Extracts request events with the same format auto-detection as
+/// [`parse_auto`].
+///
+/// # Errors
+/// Propagates the format-specific parse errors.
+pub fn parse_requests_auto(text: &str) -> Result<Vec<RequestEvent>, String> {
+    if text.trim_start().starts_with('[') {
+        parse_requests_chrome(text)
+    } else {
+        parse_requests_jsonl(text)
+    }
+}
+
+/// Aggregated timing of one request-lifecycle stage.
+#[derive(Clone, Debug)]
+pub struct StageStats {
+    /// Stage name.
+    pub stage: String,
+    /// Stage instances folded in.
+    pub count: u64,
+    /// Total microseconds across instances.
+    pub total_us: u64,
+    /// Shortest instance.
+    pub min_us: u64,
+    /// Longest instance.
+    pub max_us: u64,
+}
+
+/// Per-stage latency profile folded from request events.
+#[derive(Clone, Debug, Default)]
+pub struct RequestProfile {
+    stages: Vec<StageStats>,
+    requests: u64,
+}
+
+impl RequestProfile {
+    /// Folds `events` by stage (first-seen order, which matches lifecycle
+    /// order in traces written by the serve worker).
+    pub fn build(events: &[RequestEvent]) -> RequestProfile {
+        let mut stages: Vec<StageStats> = Vec::new();
+        let mut req_ids: Vec<u64> = Vec::new();
+        for ev in events {
+            if let Err(at) = req_ids.binary_search(&ev.req) {
+                req_ids.insert(at, ev.req);
+            }
+            match stages.iter_mut().find(|s| s.stage == ev.stage) {
+                Some(s) => {
+                    s.count += 1;
+                    s.total_us += ev.dur_us;
+                    s.min_us = s.min_us.min(ev.dur_us);
+                    s.max_us = s.max_us.max(ev.dur_us);
+                }
+                None => stages.push(StageStats {
+                    stage: ev.stage.clone(),
+                    count: 1,
+                    total_us: ev.dur_us,
+                    min_us: ev.dur_us,
+                    max_us: ev.dur_us,
+                }),
+            }
+        }
+        RequestProfile { stages, requests: req_ids.len() as u64 }
+    }
+
+    /// Per-stage aggregates, in first-seen (lifecycle) order.
+    pub fn stages(&self) -> &[StageStats] {
+        &self.stages
+    }
+
+    /// Distinct request ids seen.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Total microseconds across every stage (the per-stage breakdown's
+    /// denominator).
+    pub fn total_us(&self) -> u64 {
+        self.stages.iter().map(|s| s.total_us).sum()
+    }
+
+    /// Renders a per-stage table: total/mean/min/max microseconds and
+    /// share of the summed stage time.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total = self.total_us().max(1);
+        out.push_str(&format!(
+            "{} requests, {} stage events\n",
+            self.requests,
+            self.stages.iter().map(|s| s.count).sum::<u64>()
+        ));
+        out.push_str(&format!(
+            "{:>12} {:>10} {:>9} {:>9} {:>6} {:>8}  stage\n",
+            "total(ms)", "mean(us)", "min(us)", "max(us)", "%", "count"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:>12.3} {:>10.1} {:>9} {:>9} {:>5.1}% {:>8}  {}\n",
+                s.total_us as f64 / 1e3,
+                s.total_us as f64 / s.count.max(1) as f64,
+                s.min_us,
+                s.max_us,
+                s.total_us as f64 * 100.0 / total as f64,
+                s.count,
+                s.stage,
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +635,57 @@ mod tests {
         assert!(parse_auto("[]").unwrap().is_empty());
         assert!(parse_auto("").unwrap().is_empty());
         assert!(parse_auto("{oops").is_err());
+    }
+
+    #[test]
+    fn request_events_parse_from_jsonl_and_fold_by_stage() {
+        let text = "\
+{\"ev\":\"request\",\"req\":1,\"user\":7,\"stage\":\"enqueue\",\"tid\":1,\"ts_us\":0,\"dur_us\":10}\n\
+{\"ev\":\"span_begin\",\"name\":\"x\",\"tid\":1,\"ts_us\":3,\"depth\":0}\n\
+{\"ev\":\"span_end\",\"name\":\"x\",\"tid\":1,\"ts_us\":5,\"dur_us\":2,\"depth\":0}\n\
+{\"ev\":\"request\",\"req\":1,\"user\":7,\"stage\":\"encode\",\"tid\":2,\"ts_us\":10,\"dur_us\":30}\n\
+{\"ev\":\"request\",\"req\":2,\"user\":9,\"stage\":\"enqueue\",\"tid\":1,\"ts_us\":5,\"dur_us\":20}\n";
+        // Request lines must not break the span parser...
+        assert_eq!(parse_jsonl(text).unwrap().len(), 2);
+        // ...and fold into a per-stage profile.
+        let events = parse_requests_jsonl(text).unwrap();
+        assert_eq!(events.len(), 3);
+        let p = RequestProfile::build(&events);
+        assert_eq!(p.requests(), 2);
+        assert_eq!(p.total_us(), 60);
+        let enqueue = &p.stages()[0];
+        assert_eq!(enqueue.stage, "enqueue");
+        assert_eq!(
+            (enqueue.count, enqueue.total_us, enqueue.min_us, enqueue.max_us),
+            (2, 30, 10, 20)
+        );
+        assert_eq!(p.stages()[1].stage, "encode");
+        let table = p.render();
+        assert!(table.contains("enqueue"), "{table}");
+    }
+
+    #[test]
+    fn request_events_parse_from_chrome_x_events() {
+        let text = r#"[
+{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"seqrec"}},
+{"name":"req.score","cat":"serve","ph":"X","ts":40,"dur":25,"pid":1,"tid":3,"args":{"req":5,"user":11}},
+{"name":"epoch","cat":"seqrec","ph":"B","ts":0,"pid":1,"tid":1},
+{"name":"epoch","cat":"seqrec","ph":"E","ts":30,"pid":1,"tid":1}
+]"#;
+        let events = parse_requests_chrome(text).unwrap();
+        assert_eq!(
+            events,
+            vec![RequestEvent {
+                req: 5,
+                user: 11,
+                stage: "score".to_string(),
+                tid: 3,
+                ts_us: 40,
+                dur_us: 25,
+            }]
+        );
+        // The span parser still skips X events.
+        assert_eq!(parse_chrome(text).unwrap().len(), 2);
+        assert_eq!(parse_requests_auto(text).unwrap().len(), 1);
     }
 }

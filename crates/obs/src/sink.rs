@@ -64,6 +64,24 @@ pub enum Event<'a> {
         /// Microseconds since the trace epoch.
         ts_us: u64,
     },
+    /// One completed stage of a serve request's lifecycle
+    /// (enqueue → batch → encode → score → topk → reply). Stages of one
+    /// request share `req`, so viewers and `seqrec-prof` can correlate
+    /// them across lanes.
+    Request {
+        /// Monotonic request id assigned by the client handle.
+        req: u64,
+        /// User the request scored.
+        user: u64,
+        /// Stage name (`"enqueue"`, `"batch"`, `"encode"`, …).
+        stage: &'static str,
+        /// Thread the stage ran on.
+        tid: u32,
+        /// Stage start, microseconds since the trace epoch.
+        ts_us: u64,
+        /// Stage duration in microseconds.
+        dur_us: u64,
+    },
 }
 
 /// A destination for telemetry events. Implementations must be
@@ -279,6 +297,7 @@ fn level_name(level: u8) -> &'static str {
 /// {"ev":"span_end","name":"batch","tid":1,"ts_us":90,"dur_us":78,"depth":0}
 /// {"ev":"log","level":"info","msg":"...","tid":1,"ts_us":95}
 /// {"ev":"counter","name":"gemm.flops","value":123,"ts_us":99}
+/// {"ev":"request","req":7,"user":42,"stage":"encode","tid":2,"ts_us":120,"dur_us":33}
 /// ```
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
@@ -329,6 +348,12 @@ impl Sink for JsonlSink {
                 s.push_str("{\"ev\":\"counter\",\"name\":");
                 json::write_str(&mut s, name);
                 s.push_str(&format!(",\"value\":{value},\"ts_us\":{ts_us}}}"));
+            }
+            Event::Request { req, user, stage, tid, ts_us, dur_us } => {
+                s.push_str("{\"ev\":\"request\",\"req\":");
+                s.push_str(&format!("{req},\"user\":{user},\"stage\":"));
+                json::write_str(&mut s, stage);
+                s.push_str(&format!(",\"tid\":{tid},\"ts_us\":{ts_us},\"dur_us\":{dur_us}}}"));
             }
         }
         self.write_line(&s);
@@ -463,9 +488,10 @@ impl ChromeTraceSink {
 impl Sink for ChromeTraceSink {
     fn event(&self, ev: &Event<'_>) {
         let ev_tid = match ev {
-            Event::SpanBegin { tid, .. } | Event::SpanEnd { tid, .. } | Event::Log { tid, .. } => {
-                *tid
-            }
+            Event::SpanBegin { tid, .. }
+            | Event::SpanEnd { tid, .. }
+            | Event::Log { tid, .. }
+            | Event::Request { tid, .. } => *tid,
             Event::Counter { .. } => 0,
         };
         self.ensure_thread_named(ev_tid);
@@ -499,6 +525,15 @@ impl Sink for ChromeTraceSink {
                 s.push_str(&format!(
                     ",\"cat\":\"metrics\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":1,\"tid\":0,\
                      \"args\":{{\"value\":{value}}}}}"
+                ));
+            }
+            Event::Request { req, user, stage, tid, ts_us, dur_us } => {
+                // `X` complete events: one self-contained slice per stage,
+                // correlated across lanes by args.req.
+                s.push_str(&format!("{{\"name\":\"req.{stage}\""));
+                s.push_str(&format!(
+                    ",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":{ts_us},\"dur\":{dur_us},\
+                     \"pid\":1,\"tid\":{tid},\"args\":{{\"req\":{req},\"user\":{user}}}}}"
                 ));
             }
         }

@@ -292,6 +292,81 @@ fn chrome_trace_labels_pool_worker_lanes() {
     assert!(span_names.contains(&"left") && span_names.contains(&"right"));
 }
 
+/// Request lifecycle events carry the full shape on the JSONL sink —
+/// stable keys, numeric ids, stage label — and stay invisible to the span
+/// parsers (a serve trace still folds as a flame graph).
+#[test]
+fn request_events_have_the_documented_jsonl_shape() {
+    let _g = lock();
+    let text = capture_jsonl(|| {
+        for (stage, ts, dur) in [("enqueue", 100, 40), ("batch", 140, 60)] {
+            sink::dispatch(&seqrec_obs::Event::Request {
+                req: 7,
+                user: 3,
+                stage,
+                tid: 2,
+                ts_us: ts,
+                dur_us: dur,
+            });
+        }
+    });
+    let lines: Vec<Value> = text.lines().map(|l| json::parse(l).expect("valid JSONL")).collect();
+    assert_eq!(lines.len(), 2);
+    for (v, (stage, ts, dur)) in
+        lines.iter().zip([("enqueue", 100.0, 40.0), ("batch", 140.0, 60.0)])
+    {
+        assert_eq!(v.get("ev").and_then(Value::as_str), Some("request"));
+        assert_eq!(v.get("req").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("user").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("stage").and_then(Value::as_str), Some(stage));
+        assert_eq!(v.get("tid").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(v.get("ts_us").and_then(Value::as_f64), Some(ts));
+        assert_eq!(v.get("dur_us").and_then(Value::as_f64), Some(dur));
+    }
+    // Span folding skips request lines instead of erroring on them.
+    assert!(seqrec_obs::profile::parse_jsonl(&text).expect("span parse").is_empty());
+}
+
+/// On the Chrome sink a request stage is a complete (`X`) slice in the
+/// `serve` category, named `req.<stage>`, carrying the ids in `args` — so
+/// a trace viewer shows per-stage bars and the request parser round-trips.
+#[test]
+fn request_events_render_as_chrome_complete_slices() {
+    let _g = lock();
+    let text = capture_chrome(|| {
+        sink::dispatch(&seqrec_obs::Event::Request {
+            req: 11,
+            user: 5,
+            stage: "score",
+            tid: 1,
+            ts_us: 2_000,
+            dur_us: 250,
+        });
+    });
+    let doc = json::parse(&text).expect("chrome trace parses");
+    let slice = doc
+        .as_arr()
+        .expect("array")
+        .iter()
+        .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .expect("one X slice")
+        .clone();
+    assert_eq!(slice.get("name").and_then(Value::as_str), Some("req.score"));
+    assert_eq!(slice.get("cat").and_then(Value::as_str), Some("serve"));
+    assert_eq!(slice.get("ts").and_then(Value::as_f64), Some(2_000.0));
+    assert_eq!(slice.get("dur").and_then(Value::as_f64), Some(250.0));
+    let args = slice.get("args").expect("args");
+    assert_eq!(args.get("req").and_then(Value::as_f64), Some(11.0));
+    assert_eq!(args.get("user").and_then(Value::as_f64), Some(5.0));
+
+    let back = seqrec_obs::profile::parse_requests_chrome(&text).expect("request parse");
+    assert_eq!(back.len(), 1);
+    assert_eq!(back[0].stage, "score");
+    assert_eq!(back[0].req, 11);
+    // And the span parser sees a well-formed trace with no spans in it.
+    assert!(seqrec_obs::profile::parse_chrome(&text).expect("span parse").is_empty());
+}
+
 /// The per-thread sink cache in `sink::dispatch` invalidates on
 /// re-install: events after a sink swap must reach the new sink, never a
 /// stale cached `Arc`.

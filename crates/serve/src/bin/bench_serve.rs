@@ -8,11 +8,20 @@
 //!     --scale 0.005 --requests 2000 --qps 2000 --k 10 --out BENCH_serve.json
 //! ```
 //!
-//! Reports p50/p99 request latency, catalog items scored per second, and
-//! the user-state cache hit rate, per method — the same report shape
+//! Reports p50/p99 request latency, catalog items scored per second, the
+//! user-state cache hit rate, queue-depth and batch-occupancy
+//! distributions, and the SLO verdict, per method — the same report shape
 //! `bench_diff --specs serve` gates (`scripts/bench_gate.sh`). The workload
 //! replays a seeded, popularity-skewed user stream, so the cache hit rate
 //! is a deterministic function of `--seed`/`--requests`, not of timing.
+//!
+//! `--expo ADDR` additionally serves the live Prometheus-style exposition
+//! endpoint for the whole run and scrapes it once over real TCP halfway
+//! through the first method's request stream, failing the bench if the
+//! mid-serve snapshot does not parse or lacks the live windowed series.
+//! Unless `--no-ledger`, each run writes a run-ledger directory
+//! (`runs/bench_serve-<seed>/`) whose `report.json` records the SLO
+//! verdict per method.
 
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -22,7 +31,9 @@ use seqrec_data::Split;
 use seqrec_eval::SequenceScorer;
 use seqrec_models::checkpoint;
 use seqrec_models::{EncoderConfig, Pop, SasRec, TrainOptions};
-use seqrec_serve::{AnyModel, BatchingServer, ServerConfig};
+use seqrec_obs::ledger::RunLedger;
+use seqrec_obs::metrics;
+use seqrec_serve::{expo, slo, AnyModel, BatchingServer, ExpoServer, ServerConfig, SloPolicy};
 use serde::Serialize;
 
 struct Args {
@@ -34,6 +45,10 @@ struct Args {
     clients: usize,
     seed: u64,
     out: Option<String>,
+    expo: Option<String>,
+    runs_dir: Option<String>,
+    slo_target_us: u64,
+    slo_budget: f64,
 }
 
 impl Default for Args {
@@ -47,6 +62,10 @@ impl Default for Args {
             clients: 4,
             seed: 42,
             out: None,
+            expo: None,
+            runs_dir: Some("runs".to_string()),
+            slo_target_us: 20_000,
+            slo_budget: 0.01,
         }
     }
 }
@@ -54,6 +73,8 @@ impl Default for Args {
 const USAGE: &str = "\
 usage: bench_serve [--scale X] [--epochs N] [--requests N] [--qps X]
                    [--k N] [--clients N] [--seed N] [--out PATH]
+                   [--expo ADDR] [--runs-dir DIR | --no-ledger]
+                   [--slo-target-us N] [--slo-budget X]
   --scale X     synthetic `beauty` dataset scale (default 0.005)
   --epochs N    SASRec training epochs before serving (default 0: serving
                 cost does not depend on the weights)
@@ -62,7 +83,15 @@ usage: bench_serve [--scale X] [--epochs N] [--requests N] [--qps X]
   --k N         top-K size per request (default 10)
   --clients N   concurrent client threads (default 4)
   --seed N      workload + model seed (default 42)
-  --out PATH    also write the JSON report to PATH";
+  --out PATH    also write the JSON report to PATH
+  --expo ADDR   serve the live metrics exposition on ADDR (e.g.
+                127.0.0.1:0) and self-scrape it once mid-serve
+  --runs-dir DIR  run-ledger root (default `runs`; report.json records the
+                SLO verdict)
+  --no-ledger   skip the run ledger
+  --slo-target-us N  latency SLO target, µs (default 20000; align with a
+                serve.latency_us bucket bound for exact counting)
+  --slo-budget X  fraction of requests allowed over target (default 0.01)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -91,13 +120,33 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => args.out = Some(val("--out")?.to_string()),
+            "--expo" => args.expo = Some(val("--expo")?.to_string()),
+            "--runs-dir" => args.runs_dir = Some(val("--runs-dir")?.to_string()),
+            "--no-ledger" => args.runs_dir = None,
+            "--slo-target-us" => {
+                args.slo_target_us =
+                    val("--slo-target-us")?.parse().map_err(|e| format!("--slo-target-us: {e}"))?
+            }
+            "--slo-budget" => {
+                args.slo_budget =
+                    val("--slo-budget")?.parse().map_err(|e| format!("--slo-budget: {e}"))?
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     if args.requests == 0 || args.clients == 0 || !(args.qps.is_finite() && args.qps > 0.0) {
         return Err("--requests, --clients and --qps must be positive".to_string());
     }
+    if !(args.slo_budget.is_finite() && args.slo_budget >= 0.0) {
+        return Err("--slo-budget must be a non-negative fraction".to_string());
+    }
     Ok(args)
+}
+
+impl Args {
+    fn slo_policy(&self) -> SloPolicy {
+        SloPolicy { target_us: self.slo_target_us, budget: self.slo_budget, error_budget: 0.0 }
+    }
 }
 
 /// One method's measured serving performance.
@@ -123,6 +172,22 @@ struct ServeRow {
     batches: u64,
     /// Achieved request throughput (sanity check against the offered qps).
     achieved_qps: f64,
+    /// Median queue depth observed at batch close (bucket bound, from the
+    /// cumulative `serve.queue_depth` histogram).
+    queue_depth_p50: f64,
+    /// 99th-percentile queue depth at batch close.
+    queue_depth_p99: f64,
+    /// Mean batch occupancy, percent of `max_batch` actually served.
+    batch_occupancy_mean_pct: f64,
+    /// The latency SLO target the verdict was scored against, µs.
+    slo_target_us: f64,
+    /// Requests over the SLO target (bucket-resolution count).
+    slo_breaches: f64,
+    /// Breach rate over budget; above 1.0 the SLO is burning.
+    slo_burn_rate: f64,
+    /// The SLO verdict: 1.0 met, 0.0 burning (numeric so `bench_diff`
+    /// can gate on it).
+    slo_ok: f64,
 }
 
 /// Deterministic splitmix64 stream for the workload generator.
@@ -199,8 +264,24 @@ fn bench_model(model: AnyModel, split: &Split, args: &Args, method: &str) -> Ser
 
     let mut lat = Arc::try_unwrap(latencies).expect("clients done").into_inner().expect("lock");
     lat.sort_by(|a, b| a.total_cmp(b));
-    let hits = seqrec_obs::metrics::SERVE_CACHE_HITS.get();
-    let total = seqrec_obs::metrics::SERVE_REQUESTS.get();
+    let hits = metrics::SERVE_CACHE_HITS.get();
+    let total = metrics::SERVE_REQUESTS.get();
+
+    // Distribution + SLO readouts come from the cumulative histograms, not
+    // the rolling windows, so the report is a complete account of the run
+    // regardless of how long it took relative to the window.
+    let queue = &metrics::SERVE_QUEUE_DEPTH;
+    let occupancy = &metrics::SERVE_BATCH_OCCUPANCY_PCT;
+    let occupancy_mean =
+        if occupancy.total() > 0 { occupancy.sum() as f64 / occupancy.total() as f64 } else { 0.0 };
+    let slo = slo::evaluate_counts(
+        metrics::SERVE_LATENCY_US.bounds(),
+        &metrics::SERVE_LATENCY_US.counts(),
+        metrics::SERVE_LATENCY_US.overflow(),
+        metrics::SERVE_ERRORS.get(),
+        &args.slo_policy(),
+    );
+
     ServeRow {
         method: method.to_string(),
         dataset: "beauty".to_string(),
@@ -210,8 +291,15 @@ fn bench_model(model: AnyModel, split: &Split, args: &Args, method: &str) -> Ser
         mean_us: lat.iter().sum::<f64>() / lat.len().max(1) as f64,
         items_per_sec: lat.len() as f64 * (num_items + 1) as f64 / wall_secs,
         cache_hit_rate: if total > 0 { hits as f64 / total as f64 } else { 0.0 },
-        batches: seqrec_obs::metrics::SERVE_BATCHES.get(),
+        batches: metrics::SERVE_BATCHES.get(),
         achieved_qps: lat.len() as f64 / wall_secs,
+        queue_depth_p50: queue.quantile(0.50).unwrap_or(0) as f64,
+        queue_depth_p99: queue.quantile(0.99).unwrap_or(0) as f64,
+        batch_occupancy_mean_pct: occupancy_mean,
+        slo_target_us: slo.target_us as f64,
+        slo_breaches: slo.breaches as f64,
+        slo_burn_rate: slo.burn_rate,
+        slo_ok: slo.ok_as_f64(),
     }
 }
 
@@ -236,6 +324,8 @@ struct BenchServeReport {
     k: usize,
     clients: usize,
     seed: u64,
+    slo_target_us: u64,
+    slo_budget: f64,
     rows: Vec<ServeRow>,
 }
 
@@ -278,20 +368,63 @@ fn main() {
     }
     let pop = Pop::fit(&split);
 
+    // Live exposition + mid-serve self-scrape: the watcher waits until the
+    // first method is halfway through its request stream, scrapes the
+    // endpoint over real TCP, and fails the bench if the snapshot does not
+    // parse, its histograms are inconsistent, or the rolling latency
+    // window is empty (i.e. the scrape was not actually live).
+    let expo_server = args.expo.as_deref().map(|a| {
+        ExpoServer::bind(a).unwrap_or_else(|e| panic!("bench_serve: cannot bind --expo {a}: {e}"))
+    });
+    let scrape_watcher = expo_server.as_ref().map(|server| {
+        let addr = server.addr();
+        let halfway = (args.requests / 2).max(1) as u64;
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(120);
+            while metrics::SERVE_REQUESTS.get() < halfway {
+                assert!(Instant::now() < deadline, "mid-serve scrape: no traffic within 120s");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let body = expo::scrape(addr).expect("mid-serve scrape over TCP");
+            let exp = seqrec_obs::expo::parse(&body).expect("mid-serve exposition parses");
+            exp.validate_histograms().expect("mid-serve histograms self-consistent");
+            for series in [
+                "seqrec_serve_latency_us_window",
+                "seqrec_serve_queue_depth_window",
+                "seqrec_serve_batch_occupancy_pct_window",
+            ] {
+                assert_eq!(exp.type_of(series), Some("histogram"), "{series} missing");
+            }
+            let live = exp.value("seqrec_serve_latency_us_window_count").unwrap_or(0.0);
+            assert!(live > 0.0, "rolling latency window empty mid-serve: not a live scrape");
+            seqrec_obs::info!(
+                "[bench_serve] mid-serve scrape ok: {} samples in the latency window",
+                live
+            );
+        })
+    });
+
     let mut rows = Vec::new();
     for (method, model) in
         [("SASRec", through_checkpoint(&sasrec)), ("Pop", through_checkpoint(&pop))]
     {
         let row = bench_model(model, &split, &args, method);
         seqrec_obs::info!(
-            "[bench_serve] {method}: p50 {:.0}µs, p99 {:.0}µs, {:.2}M items/s, {:.0}% cache hits",
+            "[bench_serve] {method}: p50 {:.0}µs, p99 {:.0}µs, {:.2}M items/s, {:.0}% cache \
+             hits, SLO {} (burn {:.2})",
             row.p50_us,
             row.p99_us,
             row.items_per_sec / 1e6,
-            row.cache_hit_rate * 100.0
+            row.cache_hit_rate * 100.0,
+            if row.slo_ok == 1.0 { "met" } else { "BURNING" },
+            row.slo_burn_rate
         );
         rows.push(row);
     }
+    if let Some(watcher) = scrape_watcher {
+        watcher.join().expect("mid-serve scrape watcher");
+    }
+    drop(expo_server);
 
     let report = BenchServeReport {
         generated_by: "scripts/bench_serve.sh".to_string(),
@@ -310,6 +443,8 @@ fn main() {
         k: args.k,
         clients: args.clients,
         seed: args.seed,
+        slo_target_us: args.slo_target_us,
+        slo_budget: args.slo_budget,
         rows,
     };
     let text = serde_json::to_string_pretty(&report).expect("serialisable report");
@@ -317,5 +452,40 @@ fn main() {
     if let Some(p) = &args.out {
         std::fs::write(p, format!("{text}\n")).unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
         seqrec_obs::info!("[bench_serve] report written to {p}");
+    }
+    if let Some(root) = &args.runs_dir {
+        let ledger = RunLedger::create_named(root, "bench_serve", args.seed)
+            .unwrap_or_else(|e| panic!("cannot create run ledger under {root}: {e}"));
+        #[derive(Serialize)]
+        struct LedgerConfig {
+            bin: String,
+            scale: f64,
+            epochs: usize,
+            requests: usize,
+            offered_qps: f64,
+            k: usize,
+            clients: usize,
+            seed: u64,
+            slo_target_us: u64,
+            slo_budget: f64,
+        }
+        let config = LedgerConfig {
+            bin: "bench_serve".to_string(),
+            scale: args.scale,
+            epochs: args.epochs,
+            requests: args.requests,
+            offered_qps: args.qps,
+            k: args.k,
+            clients: args.clients,
+            seed: args.seed,
+            slo_target_us: args.slo_target_us,
+            slo_budget: args.slo_budget,
+        };
+        ledger.write_config(&serde_json::to_string_pretty(&config).expect("config json"));
+        ledger.write_env_snapshot();
+        // report.json carries the full bench report — per-method SLO
+        // verdicts included — so a run directory is self-describing.
+        ledger.write_report(&text);
+        seqrec_obs::info!("[bench_serve] run ledger at {}", ledger.dir().display());
     }
 }

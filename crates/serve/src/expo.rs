@@ -1,0 +1,149 @@
+//! Live metrics exposition: a std-only TCP endpoint serving the
+//! Prometheus-style text rendering of the whole metric registry
+//! ([`seqrec_obs::expo`]).
+//!
+//! [`ExpoServer::bind`] spawns one listener thread; every connection gets
+//! a fresh [`seqrec_obs::metrics::snapshot`] rendered as an HTTP/1.0
+//! response, so a scrape mid-run sees the live rolling-window quantiles
+//! (p50/p99 serve latency, queue depth, batch occupancy, cache hit rate),
+//! not a shutdown summary. The protocol handling is deliberately minimal —
+//! read until the blank line, ignore the request, answer, close — enough
+//! for `curl`, Prometheus, and the in-tree [`scrape`] helper.
+//!
+//! The offline twin is the `SEQREC_OBS=expo=PATH` directive, which dumps
+//! the same rendering to a file when the obs guard drops.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running exposition endpoint; dropping it stops the listener thread.
+pub struct ExpoServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    listener: Option<JoinHandle<()>>,
+}
+
+impl ExpoServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving scrapes on a background thread.
+    pub fn bind(addr: &str) -> std::io::Result<ExpoServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new().name("seqrec-expo".into()).spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Ok(stream) = stream {
+                    // A slow or stuck scraper must not wedge the
+                    // endpoint: bounded I/O, one request per connection.
+                    let _ = serve_one(stream);
+                }
+            }
+        })?;
+        Ok(ExpoServer { addr, shutdown, listener: Some(handle) })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ExpoServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Drain the request head (we answer every path the same way). Stop at
+    // the header/body separator or a size cap, whichever first.
+    let mut head = [0u8; 4096];
+    let mut n = 0;
+    while n < head.len() {
+        let got = stream.read(&mut head[n..])?;
+        if got == 0 {
+            break;
+        }
+        n += got;
+        if head[..n].windows(4).any(|w| w == b"\r\n\r\n")
+            || head[..n].windows(2).any(|w| w == b"\n\n")
+        {
+            break;
+        }
+    }
+    let body = seqrec_obs::expo::render_current();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Scrapes an exposition endpoint once over real TCP and returns the body
+/// (headers stripped).
+pub fn scrape(addr: SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: seqrec\r\n\r\n")?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("non-UTF-8 response: {e}"))
+    })?;
+    match text.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.0 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(std::io::Error::other(format!(
+            "scrape failed: {}",
+            head.lines().next().unwrap_or("empty response")
+        ))),
+        None => Err(std::io::Error::other("response without header/body separator")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_round_trips_through_real_tcp() {
+        seqrec_obs::metrics::SERVE_REQUESTS.add(3);
+        let server = ExpoServer::bind("127.0.0.1:0").expect("bind loopback");
+        let body = scrape(server.addr()).expect("scrape");
+        let exp = seqrec_obs::expo::parse(&body).expect("parse exposition");
+        exp.validate_histograms().expect("histograms well-formed");
+        assert!(exp.value("seqrec_serve_requests").unwrap_or(0.0) >= 3.0);
+        assert_eq!(exp.type_of("seqrec_serve_latency_us_window"), Some("histogram"));
+    }
+
+    #[test]
+    fn endpoint_survives_consecutive_scrapes_and_stops_on_drop() {
+        let server = ExpoServer::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = server.addr();
+        for _ in 0..3 {
+            assert!(scrape(addr).is_ok());
+        }
+        drop(server);
+        // The listener is gone: a fresh connect must fail or yield no data.
+        assert!(scrape(addr).is_err());
+    }
+}

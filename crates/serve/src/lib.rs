@@ -21,7 +21,16 @@
 //! * [`ScoringService`] — batched scoring: one encoder pass for the cache
 //!   misses, one catalog GEMM for everyone, SIMD top-K per row;
 //! * [`BatchingServer`] / [`ServeClient`] — a worker thread that batches
-//!   requests within a latency window.
+//!   requests within a latency window;
+//! * [`ExpoServer`] — a std-only TCP endpoint exposing the live metric
+//!   registry (rolling-window latency/queue/occupancy quantiles) in the
+//!   Prometheus text format;
+//! * [`SloPolicy`] / [`slo::evaluate`] — latency/error objectives scored
+//!   against the rolling windows, gated by `bench_diff --specs serve`.
+//!
+//! Observability: every request is traced through its lifecycle stages
+//! (enqueue → batch → encode → score → topk → reply) onto the installed
+//! `seqrec_obs` sink — see the [`server`] module docs.
 //!
 //! Threading: the worker owns the model; the model's own forward pass uses
 //! the global worker pool, so `SEQREC_THREADS` bounds serving parallelism
@@ -30,11 +39,15 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod expo;
 pub mod model;
 pub mod server;
 pub mod service;
+pub mod slo;
 
 pub use cache::{history_digest, UserStateCache};
+pub use expo::ExpoServer;
 pub use model::AnyModel;
 pub use server::{BatchingServer, ServeClient, ServerConfig};
-pub use service::{Recommendation, ScoringService};
+pub use service::{EncodedBatch, Recommendation, ScoringService};
+pub use slo::{SloPolicy, SloReport};

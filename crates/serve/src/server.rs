@@ -12,15 +12,31 @@
 //! The GEMM engine's batch-size invariance means coalescing never changes
 //! scores: a request served in a batch of 64 returns bit-identical results
 //! to the same request served alone (`tests/serve_parity.rs`).
+//!
+//! ## Observability
+//!
+//! Every request gets a process-monotonic id at submission, and the worker
+//! timestamps its lifecycle: **enqueue** (channel wait) → **batch** (wait
+//! inside the batching window) → **encode** → **score** → **topk** →
+//! **reply**. The six stages tile the request's server-side latency
+//! exactly — consecutive stages share a boundary timestamp — and are
+//! emitted per request as [`seqrec_obs::Event::Request`] events when a
+//! sink is installed (JSONL lines, Chrome `X` slices; `seqrec-prof` folds
+//! them into a per-stage profile). Independent of any sink, the worker
+//! feeds the always-on serve instruments: queue-depth and batch-occupancy
+//! histograms (cumulative + rolling-window), the queue and in-flight
+//! gauges, and the client handle records client-observed latency into
+//! `SERVE_LATENCY_US`(`_WINDOW`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use seqrec_eval::StatefulScorer;
-use seqrec_obs::metrics;
+use seqrec_obs::{metrics, sink};
 
-use crate::service::{Recommendation, ScoringService};
+use crate::service::{rank, Recommendation, ScoringService};
 
 /// Batching policy for a [`BatchingServer`].
 #[derive(Clone, Copy, Debug)]
@@ -39,10 +55,17 @@ impl Default for ServerConfig {
     }
 }
 
+/// Source of process-monotonic request ids (shared by every server in the
+/// process, so traces from several servers never collide).
+static NEXT_REQ_ID: AtomicU64 = AtomicU64::new(1);
+
 struct Request {
+    req: u64,
     user: usize,
     history: Vec<u32>,
     k: usize,
+    /// When the client submitted, µs since the trace epoch.
+    enqueued_us: u64,
     reply: SyncSender<Vec<Recommendation>>,
 }
 
@@ -59,9 +82,23 @@ impl ServeClient {
     ///
     /// Returns `None` if the server has shut down.
     pub fn recommend(&self, user: usize, history: &[u32], k: usize) -> Option<Vec<Recommendation>> {
+        let req = NEXT_REQ_ID.fetch_add(1, Ordering::Relaxed);
+        let enqueued_us = sink::now_us();
         let (reply_tx, reply_rx) = sync_channel(1);
-        self.tx.send(Request { user, history: history.to_vec(), k, reply: reply_tx }).ok()?;
-        reply_rx.recv().ok()
+        metrics::SERVE_QUEUE.add(1);
+        let sent = self
+            .tx
+            .send(Request { req, user, history: history.to_vec(), k, enqueued_us, reply: reply_tx })
+            .is_ok();
+        if !sent {
+            metrics::SERVE_QUEUE.add(-1);
+            return None;
+        }
+        let out = reply_rx.recv().ok();
+        let latency_us = sink::now_us().saturating_sub(enqueued_us);
+        metrics::SERVE_LATENCY_US.record(latency_us);
+        metrics::SERVE_LATENCY_US_WINDOW.record(latency_us);
+        out
     }
 }
 
@@ -102,6 +139,18 @@ impl Drop for BatchingServer {
     }
 }
 
+/// A request the worker has admitted, with its stage boundary timestamps.
+struct Admitted {
+    inner: Request,
+    admitted_us: u64,
+}
+
+fn admit(r: Request) -> Admitted {
+    metrics::SERVE_QUEUE.add(-1);
+    metrics::SERVE_IN_FLIGHT.add(1);
+    Admitted { admitted_us: sink::now_us(), inner: r }
+}
+
 fn worker_loop<M: StatefulScorer>(
     mut service: ScoringService<M>,
     rx: Receiver<Request>,
@@ -112,7 +161,7 @@ fn worker_loop<M: StatefulScorer>(
             Ok(r) => r,
             Err(_) => return,
         };
-        let mut batch = vec![first];
+        let mut batch = vec![admit(first)];
         let deadline = Instant::now() + cfg.batch_window;
         while batch.len() < cfg.max_batch {
             let now = Instant::now();
@@ -120,21 +169,66 @@ fn worker_loop<M: StatefulScorer>(
                 break;
             }
             match rx.recv_timeout(deadline - now) {
-                Ok(r) => batch.push(r),
+                Ok(r) => batch.push(admit(r)),
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+        // Depth of the backlog left behind once this batch is closed, and
+        // how full the batch ran — the two signals that tell an operator
+        // whether the window or the model is the bottleneck.
+        let backlog = metrics::SERVE_QUEUE.get().max(0) as u64;
+        metrics::SERVE_QUEUE_DEPTH.record(backlog);
+        metrics::SERVE_QUEUE_DEPTH_WINDOW.record(backlog);
+        let occupancy_pct = (batch.len() * 100 / cfg.max_batch) as u64;
+        metrics::SERVE_BATCH_OCCUPANCY_PCT.record(occupancy_pct);
+        metrics::SERVE_BATCH_OCCUPANCY_PCT_WINDOW.record(occupancy_pct);
+
+        let t_exec = sink::now_us();
         let started = Instant::now();
-        let users: Vec<usize> = batch.iter().map(|r| r.user).collect();
-        let histories: Vec<&[u32]> = batch.iter().map(|r| r.history.as_slice()).collect();
-        let max_k = batch.iter().map(|r| r.k).max().unwrap_or(0);
-        let ranked = service.recommend(&users, &histories, max_k);
+        let users: Vec<usize> = batch.iter().map(|r| r.inner.user).collect();
+        let histories: Vec<&[u32]> = batch.iter().map(|r| r.inner.history.as_slice()).collect();
+        let max_k = batch.iter().map(|r| r.inner.k).max().unwrap_or(0);
+        let encoded = service.encode_batch(&users, &histories);
+        let t_encoded = sink::now_us();
+        let scores = service.score_encoded(&encoded);
+        let t_scored = sink::now_us();
+        let ranked = rank(&scores, max_k);
+        let t_topk = sink::now_us();
         metrics::record_scaled(&metrics::SERVE_BATCH_US, started.elapsed().as_secs_f64(), 1e6);
-        for (req, mut recs) in batch.into_iter().zip(ranked) {
-            recs.truncate(req.k);
+
+        let tracing = sink::enabled();
+        let tid = sink::tid();
+        for (r, mut recs) in batch.into_iter().zip(ranked) {
+            recs.truncate(r.inner.k);
             // A closed reply channel just means the client gave up waiting.
-            let _ = req.reply.send(recs);
+            if r.inner.reply.send(recs).is_err() {
+                metrics::SERVE_ERRORS.incr();
+            }
+            metrics::SERVE_IN_FLIGHT.add(-1);
+            if tracing {
+                // Six stages sharing boundary timestamps: their durations
+                // telescope to exactly (reply end − enqueue start).
+                let t_done = sink::now_us();
+                let stages = [
+                    ("enqueue", r.inner.enqueued_us, r.admitted_us),
+                    ("batch", r.admitted_us, t_exec),
+                    ("encode", t_exec, t_encoded),
+                    ("score", t_encoded, t_scored),
+                    ("topk", t_scored, t_topk),
+                    ("reply", t_topk, t_done),
+                ];
+                for (stage, from, to) in stages {
+                    sink::dispatch(&seqrec_obs::Event::Request {
+                        req: r.inner.req,
+                        user: r.inner.user as u64,
+                        stage,
+                        tid,
+                        ts_us: from,
+                        dur_us: to.saturating_sub(from),
+                    });
+                }
+            }
         }
     }
 }

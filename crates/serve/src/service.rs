@@ -51,10 +51,13 @@ impl<M: StatefulScorer> ScoringService<M> {
         self.cache.invalidate(user);
     }
 
-    /// Full catalog scores for each `(user, history)` request — the same
-    /// layout as `score_full_catalog`: one `num_items() + 1` row per
-    /// request, entry 0 scoring the pad id.
-    pub fn score_batch(&mut self, users: &[usize], histories: &[&[u32]]) -> Vec<Vec<f32>> {
+    /// Resolves every request's encoder state — cache lookups, then one
+    /// forward pass over the misses — without scoring. The first stage of
+    /// [`score_batch`]; split out so the serving worker can timestamp the
+    /// encode/score boundary for request traces.
+    ///
+    /// [`score_batch`]: ScoringService::score_batch
+    pub fn encode_batch(&mut self, users: &[usize], histories: &[&[u32]]) -> EncodedBatch {
         assert_eq!(users.len(), histories.len(), "one history per user");
         metrics::SERVE_REQUESTS.add(users.len() as u64);
         let d = self.model.state_dim();
@@ -66,8 +69,11 @@ impl<M: StatefulScorer> ScoringService<M> {
                 None => miss_rows.push(i),
             }
         }
-        metrics::SERVE_CACHE_HITS.add((users.len() - miss_rows.len()) as u64);
+        let hits = (users.len() - miss_rows.len()) as u64;
+        metrics::SERVE_CACHE_HITS.add(hits);
         metrics::SERVE_CACHE_MISSES.add(miss_rows.len() as u64);
+        metrics::SERVE_CACHE_HITS_WINDOW.add(hits);
+        metrics::SERVE_CACHE_MISSES_WINDOW.add(miss_rows.len() as u64);
         if !miss_rows.is_empty() {
             let miss_users: Vec<usize> = miss_rows.iter().map(|&i| users[i]).collect();
             let miss_hists: Vec<&[u32]> = miss_rows.iter().map(|&i| histories[i]).collect();
@@ -79,8 +85,28 @@ impl<M: StatefulScorer> ScoringService<M> {
                 self.cache.put(users[i], histories[i], row.to_vec());
             }
         }
+        EncodedBatch { states }
+    }
+
+    /// Scores an encoded batch against the full catalog — the second stage
+    /// of [`score_batch`].
+    ///
+    /// [`score_batch`]: ScoringService::score_batch
+    pub fn score_encoded(&mut self, batch: &EncodedBatch) -> Vec<Vec<f32>> {
         metrics::SERVE_BATCHES.incr();
-        self.model.score_states(&states)
+        self.model.score_states(&batch.states)
+    }
+
+    /// Full catalog scores for each `(user, history)` request — the same
+    /// layout as `score_full_catalog`: one `num_items() + 1` row per
+    /// request, entry 0 scoring the pad id. Equivalent to
+    /// [`encode_batch`] + [`score_encoded`] (same operations, same order).
+    ///
+    /// [`encode_batch`]: ScoringService::encode_batch
+    /// [`score_encoded`]: ScoringService::score_encoded
+    pub fn score_batch(&mut self, users: &[usize], histories: &[&[u32]]) -> Vec<Vec<f32>> {
+        let encoded = self.encode_batch(users, histories);
+        self.score_encoded(&encoded)
     }
 
     /// The `k` best items per request, scores descending, ties broken by
@@ -92,15 +118,34 @@ impl<M: StatefulScorer> ScoringService<M> {
         histories: &[&[u32]],
         k: usize,
     ) -> Vec<Vec<Recommendation>> {
-        self.score_batch(users, histories)
-            .iter()
-            .map(|row| {
-                // Skip the pad entry; `top_k` indices are then item_id - 1.
-                top_k(&row[1..], k)
-                    .into_iter()
-                    .map(|e| Recommendation { item: e.index + 1, score: e.score })
-                    .collect()
-            })
-            .collect()
+        rank(&self.score_batch(users, histories), k)
     }
+}
+
+/// Encoder states for one batch of requests, produced by
+/// [`ScoringService::encode_batch`], row `i` holding request `i`'s state.
+pub struct EncodedBatch {
+    states: Vec<f32>,
+}
+
+impl EncodedBatch {
+    /// The packed per-request state rows.
+    pub fn states(&self) -> &[f32] {
+        &self.states
+    }
+}
+
+/// Top-`k` selection over full-catalog score rows (entry 0 = pad id,
+/// excluded) — the ranking stage of [`ScoringService::recommend`].
+pub fn rank(scores: &[Vec<f32>], k: usize) -> Vec<Vec<Recommendation>> {
+    scores
+        .iter()
+        .map(|row| {
+            // Skip the pad entry; `top_k` indices are then item_id - 1.
+            top_k(&row[1..], k)
+                .into_iter()
+                .map(|e| Recommendation { item: e.index + 1, score: e.score })
+                .collect()
+        })
+        .collect()
 }

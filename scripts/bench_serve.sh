@@ -2,7 +2,10 @@
 # Runs the serving-latency benchmark (checkpoint round trip + batching
 # scoring server at a fixed offered load) and writes BENCH_serve.json at
 # the repo root: p50/p99 request latency, catalog items scored per second,
-# and the user-state cache hit rate per method.
+# the user-state cache hit rate, queue-depth/batch-occupancy distributions
+# and the SLO verdict per method. The run also serves the live metrics
+# exposition and self-scrapes it mid-serve (--expo), so a baseline refresh
+# doubles as an end-to-end check of the observability path.
 #
 # Usage: scripts/bench_serve.sh [extra bench_serve args...]
 # e.g.   scripts/bench_serve.sh --qps 4000 --requests 5000
@@ -13,7 +16,7 @@ REPORT="$PWD/BENCH_serve.json"
 
 cargo run --offline --release -p seqrec-serve --bin bench_serve -- \
     --scale 0.005 --requests 2000 --qps 2000 --k 10 \
-    --out "$REPORT" "$@" >/dev/null
+    --expo 127.0.0.1:0 --out "$REPORT" "$@" >/dev/null
 
 python3 - "$REPORT" <<'PY'
 import json
@@ -24,10 +27,14 @@ with open(sys.argv[1]) as f:
 
 print(f"wrote {sys.argv[1]}")
 for r in report["rows"]:
+    verdict = "SLO met" if r["slo_ok"] == 1.0 else "SLO BURNING"
     print(
         f"  {r['method']:>18s}/{r['dataset']}: "
         f"p50 {r['p50_us']:.0f}us, p99 {r['p99_us']:.0f}us, "
         f"{r['items_per_sec'] / 1e6:.2f}M items/s, "
-        f"{r['cache_hit_rate'] * 100:.0f}% cache hits"
+        f"{r['cache_hit_rate'] * 100:.0f}% cache hits, "
+        f"queue p99 {r['queue_depth_p99']:.0f}, "
+        f"occupancy {r['batch_occupancy_mean_pct']:.0f}%, "
+        f"{verdict} (burn {r['slo_burn_rate']:.2f})"
     )
 PY

@@ -95,14 +95,24 @@ for key in ("secs_per_epoch", "seqs_per_sec", "gemm_gflops_per_sec", "peak_tenso
 print(f"run ledger OK: {root} (config, env, report with {len(report['rows'])} rows)")
 PY
 
-echo "== serve smoke (train -> checkpoint -> load -> score -> report shape)"
+echo "== serve smoke (train -> checkpoint -> load -> score -> scrape -> report shape)"
 SERVE_SMOKE="target/ci_serve_smoke.json"
-rm -f "$SERVE_SMOKE"
-cargo run --offline --release -p seqrec-serve --bin bench_serve -- \
+SERVE_RUNS="target/ci_serve_runs"
+SERVE_EXPO="target/ci_serve_expo.prom"
+rm -rf "$SERVE_SMOKE" "$SERVE_RUNS" "$SERVE_EXPO"
+# --expo makes the bench serve the live exposition endpoint and scrape it
+# over real TCP halfway through the request stream; the scrape is parsed
+# and validated in-process (crates/obs/src/expo.rs, the same hand-rolled
+# parser the tests use) and any malformed or stale snapshot aborts the
+# run. SEQREC_OBS=expo additionally dumps the final rendering to a file.
+SEQREC_OBS="console=silent,expo=$SERVE_EXPO" \
+    cargo run --offline --release -p seqrec-serve --bin bench_serve -- \
     --scale 0.005 --epochs 1 --requests 500 --qps 4000 \
+    --expo 127.0.0.1:0 --runs-dir "$SERVE_RUNS" \
     --out "$SERVE_SMOKE" >/dev/null
-python3 - "$SERVE_SMOKE" <<'PY'
+python3 - "$SERVE_SMOKE" "$SERVE_RUNS/bench_serve-42" "$SERVE_EXPO" <<'PY'
 import json
+import os
 import sys
 
 # The smoke run trains a small SASRec for one epoch, saves it through the
@@ -123,7 +133,34 @@ for r in rows:
     assert r["p50_us"] <= r["p99_us"], f"{r['method']}: p50 above p99"
     assert 0.0 <= r["cache_hit_rate"] <= 1.0, r["cache_hit_rate"]
     assert 0 < r["batches"] <= r["requests"], r["batches"]
-print(f"serve smoke OK: {len(rows)} rows, shape matches the serve gate")
+    for key in ("queue_depth_p50", "queue_depth_p99", "batch_occupancy_mean_pct"):
+        assert key in r, f"{r['method']}: missing {key!r}"
+    assert r["slo_ok"] in (0.0, 1.0), f"{r['method']}: slo_ok {r['slo_ok']!r}"
+    assert r["slo_target_us"] > 0 and r["slo_burn_rate"] >= 0, r
+
+# The serve run ledger must record the SLO verdict per method.
+ledger = sys.argv[2]
+with open(os.path.join(ledger, "config.json")) as f:
+    config = json.load(f)
+assert config["bin"] == "bench_serve" and "slo_target_us" in config, config
+with open(os.path.join(ledger, "report.json")) as f:
+    ledger_report = json.load(f)
+verdicts = {r["method"]: r["slo_ok"] for r in ledger_report["rows"]}
+assert set(verdicts) == {"SASRec", "Pop"}, verdicts
+assert os.path.exists(os.path.join(ledger, "env.json")), "env snapshot missing"
+
+# The offline exposition dump is well-formed Prometheus text: cumulative
+# buckets ending in +Inf, a _count per histogram, and the serve series.
+with open(sys.argv[3]) as f:
+    expo = f.read()
+assert "seqrec_serve_requests 500\n" in expo, "cumulative request counter missing"
+assert 'seqrec_serve_latency_us_bucket{le="+Inf"}' in expo, "+Inf bucket missing"
+assert "seqrec_serve_latency_us_count" in expo, "_count series missing"
+assert "seqrec_obs_window_us" in expo, "window-length gauge missing"
+print(
+    f"serve smoke OK: {len(rows)} rows, SLO verdicts {verdicts}, "
+    f"mid-serve scrape validated, exposition dump well-formed"
+)
 PY
 
 echo "== bench regression gate (smoke tolerances)"
