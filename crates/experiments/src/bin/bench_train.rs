@@ -20,11 +20,20 @@ use cl4srec::augment::{AugmentationSet, Mask};
 use cl4srec::model::{Cl4sRec, Cl4sRecConfig, PretrainOptions};
 use seqrec_bench::args::ExpArgs;
 use seqrec_bench::runners::{prepare, ExpRun, Prepared};
+use seqrec_models::common::AnomalyPolicy;
 use seqrec_models::{
     Bert4Rec, Bert4RecConfig, BprMf, BprMfConfig, Caser, CaserConfig, EncoderConfig, Fpmc,
     FpmcConfig, Gru4Rec, Gru4RecConfig, Ncf, NcfConfig, SasRec, TrainOptions, TrainReport,
 };
+use seqrec_obs::mem::{self, LeakCheck};
+use seqrec_obs::memprof::{observed_peak_from_intervals, whatif_peak_bytes, BENCH_WHATIF_SLACK_US};
 use serde::Serialize;
+
+/// Live-bytes slack the leak sentinel tolerates after a method's buffers
+/// should all be gone (absorbs allocator capacity rounding).
+const LEAK_EPSILON_BYTES: u64 = 64 * 1024;
+
+const MIB: f64 = 1024.0 * 1024.0;
 
 /// One method's measured training throughput.
 #[derive(Clone, Debug, Serialize)]
@@ -47,17 +56,35 @@ struct BenchRow {
     gemm_gflops_per_sec: f64,
     /// Autograd tape nodes recorded.
     tape_nodes: f64,
-    /// Peak live tensor bytes, in MiB.
-    peak_tensor_mib: f64,
+    /// Peak live tensor bytes over the method's own allocations (recorder
+    /// replay), in MiB.
+    peak_mib: f64,
+    /// What-if arena peak: the theoretical minimum peak (MiB) under
+    /// perfect buffer reuse with frees retired up to
+    /// `BENCH_WHATIF_SLACK_US` early — the memory planner's target (see
+    /// `seqrec_obs::memprof`). Always ≤ `peak_mib`.
+    whatif_peak_mib: f64,
+    /// Live tensor bytes (MiB) the method left behind after its buffers
+    /// should all have dropped; nonzero trips the leak sentinel.
+    leaked_mib: f64,
 }
 
 /// Reads the global metric registry into a row after a training run.
+/// Memory columns for one method, folded out of the interval recorder.
+#[derive(Clone, Copy, Debug)]
+struct MemCols {
+    peak_mib: f64,
+    whatif_peak_mib: f64,
+    leaked_mib: f64,
+}
+
 fn row_from_metrics(
     method: &str,
     dataset: &str,
     epochs: usize,
     train_secs: f64,
     sequences: f64,
+    mem_cols: MemCols,
 ) -> BenchRow {
     let flops = seqrec_obs::metrics::GEMM_FLOPS.get() as f64;
     BenchRow {
@@ -70,18 +97,60 @@ fn row_from_metrics(
         gemm_flops: flops,
         gemm_gflops_per_sec: if train_secs > 0.0 { flops / train_secs / 1e9 } else { 0.0 },
         tape_nodes: seqrec_obs::metrics::TAPE_NODES.get() as f64,
-        peak_tensor_mib: seqrec_obs::metrics::TENSOR_LIVE_BYTES.peak() as f64 / (1024.0 * 1024.0),
+        peak_mib: mem_cols.peak_mib,
+        whatif_peak_mib: mem_cols.whatif_peak_mib,
+        leaked_mib: mem_cols.leaked_mib,
     }
+}
+
+/// Closes a method's leak check: returns the leaked MiB for the row and —
+/// when the overhang exceeds the capacity-rounding epsilon — records a
+/// training anomaly and, under `--on-anomaly abort`, exits nonzero (the
+/// memory analogue of the NaN sentinel).
+fn settle_leak_check(method: &str, check: &LeakCheck, policy: AnomalyPolicy) -> f64 {
+    let leaked = check.leaked_bytes();
+    if leaked > LEAK_EPSILON_BYTES {
+        seqrec_obs::metrics::TRAIN_ANOMALIES.incr();
+        seqrec_obs::info!(
+            "[bench_train] leak sentinel: {method} left {:.3} MiB of tensors live \
+             after its buffers should have dropped",
+            leaked as f64 / MIB
+        );
+        if policy == AnomalyPolicy::Abort {
+            eprintln!(
+                "bench_train: aborting on leak sentinel ({method}, {:.3} MiB); \
+                 rerun with --on-anomaly warn to continue past leaks",
+                leaked as f64 / MIB
+            );
+            std::process::exit(3);
+        }
+    }
+    leaked as f64 / MIB
+}
+
+/// Stops the interval recorder and folds its schedule into the observed
+/// peak and the what-if arena peak (MiB) for the method that just ran.
+/// Both come from the same replay, so `whatif <= peak` holds per row.
+fn settle_mem() -> (f64, f64) {
+    let intervals = mem::record_stop();
+    let peak = observed_peak_from_intervals(&intervals);
+    let whatif = whatif_peak_bytes(&intervals, BENCH_WHATIF_SLACK_US);
+    (peak as f64 / MIB, whatif as f64 / MIB)
 }
 
 fn baseline_row(
     method: &str,
     prep: &Prepared,
     opts: &TrainOptions,
+    policy: AnomalyPolicy,
     train: impl FnOnce(&Prepared, &TrainOptions) -> TrainReport,
 ) -> BenchRow {
     seqrec_obs::metrics::reset_all();
+    let leak_check = LeakCheck::start();
+    mem::record_start();
     let report = train(prep, opts);
+    let leaked_mib = settle_leak_check(method, &leak_check, policy);
+    let (peak_mib, whatif_peak_mib) = settle_mem();
     let sequences: u64 = report.epochs.iter().map(|e| e.sequences).sum();
     seqrec_obs::info!(
         "[bench_train] {method}/{}: {:.2}s/epoch, {:.0} seqs/s",
@@ -95,6 +164,7 @@ fn baseline_row(
         report.epochs_run(),
         report.total_train_secs,
         sequences as f64,
+        MemCols { peak_mib, whatif_peak_mib, leaked_mib },
     )
 }
 
@@ -112,30 +182,35 @@ fn bench_dataset(prep: &Prepared, args: &ExpArgs, rows: &mut Vec<BenchRow>) {
         ..Default::default()
     };
 
-    rows.push(baseline_row("BPR-MF", prep, &opts, |p, o| {
+    let policy = args.on_anomaly;
+    rows.push(baseline_row("BPR-MF", prep, &opts, policy, |p, o| {
         BprMf::new(BprMfConfig::default(), num_users, num_items, args.seed).fit(&p.split, o)
     }));
-    rows.push(baseline_row("FPMC", prep, &opts, |p, o| {
+    rows.push(baseline_row("FPMC", prep, &opts, policy, |p, o| {
         Fpmc::new(FpmcConfig::default(), num_users, num_items, args.seed).fit(&p.split, o)
     }));
-    rows.push(baseline_row("NCF", prep, &opts, |p, o| {
+    rows.push(baseline_row("NCF", prep, &opts, policy, |p, o| {
         Ncf::new(NcfConfig::default(), num_users, num_items, args.seed).fit(&p.split, o)
     }));
-    rows.push(baseline_row("GRU4Rec", prep, &opts, |p, o| {
+    rows.push(baseline_row("GRU4Rec", prep, &opts, policy, |p, o| {
         Gru4Rec::new(Gru4RecConfig::small(num_items), args.seed).fit(&p.split, o)
     }));
-    rows.push(baseline_row("Caser", prep, &opts, |p, o| {
+    rows.push(baseline_row("Caser", prep, &opts, policy, |p, o| {
         Caser::new(CaserConfig::small(num_items), num_users, args.seed).fit(&p.split, o)
     }));
-    rows.push(baseline_row("BERT4Rec", prep, &opts, |p, o| {
+    rows.push(baseline_row("BERT4Rec", prep, &opts, policy, |p, o| {
         Bert4Rec::new(Bert4RecConfig::small(num_items), args.seed).fit(&p.split, o)
     }));
-    rows.push(baseline_row("SASRec", prep, &opts, |p, o| {
+    rows.push(baseline_row("SASRec", prep, &opts, policy, |p, o| {
         SasRec::new(EncoderConfig::small(num_items), args.seed).fit(&p.split, o)
     }));
 
     // CL4SRec, metered per stage so the contrastive pre-training cost is
-    // visible separately from the fine-tuning cost.
+    // visible separately from the fine-tuning cost. The model's own weights
+    // must outlive both stages, so the leak sentinel here brackets the whole
+    // model lifetime (creation through the explicit drop below) while the
+    // per-stage what-if recorder still scopes to each stage's fit loop.
+    let model_check = LeakCheck::start();
     let mut model = Cl4sRec::new(Cl4sRecConfig::small(num_items), args.seed);
     let augs = AugmentationSet::single(Mask { gamma: 0.5, mask_token: model.mask_token() });
     let pre_opts = PretrainOptions {
@@ -147,7 +222,9 @@ fn bench_dataset(prep: &Prepared, args: &ExpArgs, rows: &mut Vec<BenchRow>) {
         ..Default::default()
     };
     seqrec_obs::metrics::reset_all();
+    mem::record_start();
     let pre = model.pretrain(&prep.split, &augs, &pre_opts);
+    let (pre_peak_mib, pre_whatif_mib) = settle_mem();
     let pre_secs: f64 = pre.epoch_secs.iter().sum();
     let pre_seqs: f64 =
         pre.epoch_secs.iter().zip(&pre.seqs_per_sec).map(|(secs, rate)| secs * rate).sum();
@@ -162,9 +239,36 @@ fn bench_dataset(prep: &Prepared, args: &ExpArgs, rows: &mut Vec<BenchRow>) {
         pre.losses.len(),
         pre_secs,
         pre_seqs,
+        // Leak accounting for both CL4SRec stages lands on the finetune row
+        // once the model itself has dropped.
+        MemCols { peak_mib: pre_peak_mib, whatif_peak_mib: pre_whatif_mib, leaked_mib: 0.0 },
     ));
 
-    rows.push(baseline_row("CL4SRec-finetune", prep, &opts, |p, o| model.finetune(&p.split, o)));
+    // Finetune: the live model means a plain baseline_row leak check would
+    // misread the weights as a leak, so meter throughput/what-if here and
+    // settle the leak check only after the model drops.
+    seqrec_obs::metrics::reset_all();
+    mem::record_start();
+    let ft_report = model.finetune(&prep.split, &opts);
+    let (ft_peak_mib, ft_whatif_mib) = settle_mem();
+    let ft_sequences: u64 = ft_report.epochs.iter().map(|e| e.sequences).sum();
+    seqrec_obs::info!(
+        "[bench_train] CL4SRec-finetune/{}: {:.2}s/epoch, {:.0} seqs/s",
+        prep.name,
+        ft_report.total_train_secs / ft_report.epochs_run().max(1) as f64,
+        ft_report.mean_seqs_per_sec
+    );
+    let mut ft_row = row_from_metrics(
+        "CL4SRec-finetune",
+        &prep.name,
+        ft_report.epochs_run(),
+        ft_report.total_train_secs,
+        ft_sequences as f64,
+        MemCols { peak_mib: ft_peak_mib, whatif_peak_mib: ft_whatif_mib, leaked_mib: 0.0 },
+    );
+    drop(model);
+    ft_row.leaked_mib = settle_leak_check("CL4SRec", &model_check, policy);
+    rows.push(ft_row);
 }
 
 #[derive(Clone, Debug, Serialize)]

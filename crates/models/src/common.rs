@@ -187,6 +187,10 @@ pub struct TrainReport {
     pub anomaly: Option<AnomalyReport>,
     /// How many optimiser steps observed a non-finite quantity.
     pub anomalous_steps: u64,
+    /// High-water mark of the `tensor.live_bytes` gauge over the process
+    /// so far at session close, in MiB (0 until [`FitSession::finish`]
+    /// stamps it).
+    pub peak_tensor_mib: f64,
 }
 
 impl TrainReport {
@@ -489,12 +493,15 @@ impl FitSession {
         }
     }
 
-    /// Closes the session: moves the anomaly record into the report and
-    /// writes the ledger's final `report.json`. Call after
-    /// `report.finish_timing()` so the totals land in the ledger too.
+    /// Closes the session: moves the anomaly record into the report,
+    /// stamps the tensor-memory high-water mark, and writes the ledger's
+    /// final `report.json`. Call after `report.finish_timing()` so the
+    /// totals land in the ledger too.
     pub fn finish(self, report: &mut TrainReport) {
         report.anomaly = self.anomaly;
         report.anomalous_steps = self.anomalous_steps;
+        report.peak_tensor_mib =
+            seqrec_obs::metrics::TENSOR_LIVE_BYTES.peak() as f64 / (1024.0 * 1024.0);
         if let Some(l) = &self.ledger {
             l.write_report(&serde_json::to_string(report).expect("train report serializes"));
         }

@@ -8,7 +8,8 @@
 //!
 //! Tracked metrics and worse-directions with `--specs train` (the
 //! default): `secs_per_epoch` (up), `seqs_per_sec` (down),
-//! `gemm_gflops_per_sec` (down), `peak_tensor_mib` (up). With
+//! `gemm_gflops_per_sec` (down), `peak_mib` (up), and the perfect-reuse
+//! floor `whatif_peak_mib` (up). With
 //! `--specs serve` (for `BENCH_serve.json`): `p50_us`/`p99_us`/
 //! `queue_depth_p99` (up), `items_per_sec`/`cache_hit_rate`/
 //! `batch_occupancy_mean_pct` (down), and the binary SLO verdict

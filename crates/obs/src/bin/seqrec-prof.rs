@@ -3,7 +3,7 @@
 //! inclusive/exclusive time profile.
 //!
 //! ```text
-//! seqrec-prof TRACE [--top N] [--folded PATH]
+//! seqrec-prof TRACE [--top N] [--folded PATH] [--mem]
 //! ```
 //!
 //! Prints the full span hierarchy (inclusive/exclusive ms, % of wall
@@ -15,28 +15,43 @@
 //! A trace holding serve request events (`bench_serve` under
 //! `SEQREC_OBS=jsonl=...`) additionally gets a per-stage request-latency
 //! profile (enqueue/batch/encode/score/topk/reply).
+//!
+//! `--mem` switches to the memory analysis of a trace recorded with
+//! `SEQREC_OBS=mem=...`: bytes-at-peak attributed per span path and per
+//! op, buffer-lifetime statistics, and the what-if arena report (the
+//! theoretical minimum peak under perfect reuse — the memory planner's
+//! target).
+//!
+//! Malformed trace lines are hard errors with a line-numbered diagnostic
+//! and a nonzero exit, never silent skips.
 
 use std::process::ExitCode;
 
+use seqrec_obs::memprof::{parse_mem_auto, MemProfile};
 use seqrec_obs::profile::{parse_auto, parse_requests_auto, Profile, RequestProfile};
 
 const USAGE: &str = "\
-usage: seqrec-prof TRACE [--top N] [--folded PATH]
+usage: seqrec-prof TRACE [--top N] [--folded PATH] [--mem]
   TRACE          JSONL (SEQREC_OBS=jsonl=...) or Chrome trace
                  (SEQREC_OBS=chrome=...) file; format auto-detected
   --top N        how many call paths to list by exclusive time (default 15)
-  --folded PATH  also write collapsed stacks for inferno/speedscope";
+  --folded PATH  also write collapsed stacks for inferno/speedscope
+  --mem          memory analysis of a SEQREC_OBS=mem=... trace: peak
+                 breakdown by span path/op, buffer lifetimes, and the
+                 what-if arena (perfect-reuse minimum peak) report";
 
 struct Args {
     trace: String,
     top: usize,
     folded: Option<String>,
+    mem: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut trace = None;
     let mut top = 15usize;
     let mut folded = None;
+    let mut mem = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -48,13 +63,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--folded" => {
                 folded = Some(it.next().ok_or("--folded needs a path")?.clone());
             }
+            "--mem" => mem = true,
             other if !other.starts_with('-') && trace.is_none() => {
                 trace = Some(other.to_string());
             }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    Ok(Args { trace: trace.ok_or("missing TRACE argument")?, top, folded })
+    Ok(Args { trace: trace.ok_or("missing TRACE argument")?, top, folded, mem })
+}
+
+fn run_mem(trace: &str, text: &str, top: usize) -> Result<(), String> {
+    let events = parse_mem_auto(text)?;
+    if events.is_empty() {
+        return Err("no mem events in trace (was the run missing SEQREC_OBS=mem=...?)".to_string());
+    }
+    let profile = MemProfile::build(&events)?;
+    println!("trace: {trace} ({} mem events)\n", events.len());
+    print!("{}", profile.render(top));
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -78,6 +105,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.mem {
+        return match run_mem(&args.trace, &text, args.top) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("seqrec-prof: {}: {e}", args.trace);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let events = match parse_auto(&text) {
         Ok(ev) => ev,
         Err(e) => {

@@ -44,6 +44,7 @@
 //! | `expo=PATH`      | dump a Prometheus-style exposition to PATH at exit |
 //! | `window=SECS`    | rolling-window length for live metrics (default 10) |
 //! | `detail`         | also emit per-kernel-call spans (large traces)    |
+//! | `mem=all`/`mem=N` | also emit tensor alloc/free lifetime events (every buffer, or 1-in-N) |
 
 #![warn(missing_docs)]
 
@@ -51,6 +52,8 @@ pub mod benchdiff;
 pub mod expo;
 pub mod json;
 pub mod ledger;
+pub mod mem;
+pub mod memprof;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
@@ -134,10 +137,15 @@ SEQREC_OBS is a comma-separated list of directives:
   window=SECS     rolling-window length for live windowed metrics
                   (p50/p95/p99 latency, queue depth, ...; default 10)
   detail          also emit per-kernel-call spans (large traces)
+  mem=all|N       also emit tensor buffer alloc/free lifetime events into
+                  the jsonl/chrome sinks: every buffer (`all`), or one in
+                  N by buffer id (alloc/free stay paired at any rate);
+                  fold the trace with `seqrec-prof --mem`
   help            print this grammar and exit
 examples:
   SEQREC_OBS=console=debug
   SEQREC_OBS=jsonl=run.jsonl,detail
+  SEQREC_OBS=jsonl=run.jsonl,mem=all
   SEQREC_OBS=chrome=trace.json,console=silent
   SEQREC_OBS=expo=metrics.prom,window=5";
 
@@ -156,6 +164,9 @@ pub struct ObsConfig {
     pub window_secs: Option<f64>,
     /// Whether per-kernel detail spans were requested.
     pub detail: bool,
+    /// Mem-event sampling modulus, if tracing was requested: 1 = every
+    /// buffer (`mem=all`), N = one in N buffers by id.
+    pub mem: Option<u64>,
 }
 
 impl ObsConfig {
@@ -199,6 +210,15 @@ impl ObsConfig {
                 ("detail", None) | ("detail", Some("1")) | ("detail", Some("true")) => {
                     cfg.detail = true;
                 }
+                ("mem", Some("all")) => cfg.mem = Some(1),
+                ("mem", Some(v)) => match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => cfg.mem = Some(n),
+                    _ => {
+                        return Err(format!(
+                            "mem wants `all` or a sampling modulus >= 1, got `{v}`"
+                        ))
+                    }
+                },
                 _ => return Err(format!("unknown SEQREC_OBS directive `{token}`")),
             }
         }
@@ -213,10 +233,14 @@ impl ObsConfig {
 #[must_use = "telemetry is flushed and finalised when this guard drops"]
 pub struct ObsGuard {
     expo: Option<String>,
+    mem: bool,
 }
 
 impl Drop for ObsGuard {
     fn drop(&mut self) {
+        if self.mem {
+            mem::set_sink_mode(None);
+        }
         if sink::enabled() {
             metrics::emit_snapshot();
         }
@@ -281,7 +305,8 @@ pub fn init_with(cfg: &ObsConfig) -> ObsGuard {
         1 => sink::install(sinks.pop().expect("one sink")),
         _ => sink::install(Arc::new(Fanout::new(sinks))),
     }
-    ObsGuard { expo: cfg.expo.clone() }
+    mem::set_sink_mode(cfg.mem);
+    ObsGuard { expo: cfg.expo.clone(), mem: cfg.mem.is_some() }
 }
 
 #[cfg(test)]
@@ -292,7 +317,7 @@ mod tests {
     fn parses_the_full_grammar() {
         let cfg = ObsConfig::parse(
             "console=debug, jsonl=/tmp/a.jsonl,chrome=/tmp/b.json,\
-             expo=/tmp/c.prom,window=2.5,detail",
+             expo=/tmp/c.prom,window=2.5,detail,mem=64",
         )
         .unwrap();
         assert_eq!(cfg.console, Some(LEVEL_DEBUG));
@@ -301,6 +326,15 @@ mod tests {
         assert_eq!(cfg.expo.as_deref(), Some("/tmp/c.prom"));
         assert_eq!(cfg.window_secs, Some(2.5));
         assert!(cfg.detail);
+        assert_eq!(cfg.mem, Some(64));
+    }
+
+    #[test]
+    fn mem_directive_accepts_all_and_moduli() {
+        assert_eq!(ObsConfig::parse("mem=all").unwrap().mem, Some(1));
+        assert_eq!(ObsConfig::parse("mem=1").unwrap().mem, Some(1));
+        assert_eq!(ObsConfig::parse("mem=1000").unwrap().mem, Some(1000));
+        assert_eq!(ObsConfig::parse("").unwrap().mem, None);
     }
 
     #[test]
@@ -325,5 +359,8 @@ mod tests {
         assert!(ObsConfig::parse("window=zero").is_err());
         assert!(ObsConfig::parse("window=-1").is_err());
         assert!(ObsConfig::parse("expo=").is_err());
+        assert!(ObsConfig::parse("mem").is_err());
+        assert!(ObsConfig::parse("mem=0").is_err());
+        assert!(ObsConfig::parse("mem=some").is_err());
     }
 }

@@ -546,6 +546,14 @@ pub static OPTIM_STEPS: Counter = Counter::new("optim.steps");
 /// NaN/Inf anomalies observed on loss or gradients by the training-dynamics
 /// sentinels.
 pub static TRAIN_ANOMALIES: Counter = Counter::new("train.anomalies");
+/// Tensor buffer allocations emitted into the sink by the mem tracer
+/// (`SEQREC_OBS=mem=...`); counts *traced* allocations only, so under
+/// `mem=N` sampling it is roughly 1/N of real allocations.
+pub static MEM_TRACED_ALLOCS: Counter = Counter::new("mem.traced.allocs");
+/// Tensor buffer frees emitted into the sink by the mem tracer. In a
+/// complete trace this trails [`MEM_TRACED_ALLOCS`] by exactly the
+/// buffers still live at the end.
+pub static MEM_TRACED_FREES: Counter = Counter::new("mem.traced.frees");
 /// Distribution of the global gradient L2 norm per optimiser step, in
 /// milli-units (a reading of 1_000 = norm 1.0). Non-finite norms land in
 /// the overflow bucket.
@@ -691,7 +699,7 @@ pub struct MetricReading {
     pub value: MetricValue,
 }
 
-fn counters() -> [&'static Counter; 15] {
+fn counters() -> [&'static Counter; 17] {
     [
         &GEMM_FLOPS,
         &GEMM_CALLS,
@@ -703,6 +711,8 @@ fn counters() -> [&'static Counter; 15] {
         &EVAL_USERS,
         &OPTIM_STEPS,
         &TRAIN_ANOMALIES,
+        &MEM_TRACED_ALLOCS,
+        &MEM_TRACED_FREES,
         &SERVE_REQUESTS,
         &SERVE_CACHE_HITS,
         &SERVE_CACHE_MISSES,
@@ -926,6 +936,8 @@ mod tests {
             "tape.nodes",
             "tensor.live_bytes",
             "train.batches",
+            "mem.traced.allocs",
+            "mem.traced.frees",
             "gemm.flops_per_call",
             "serve.latency_us",
             "serve.latency_us.window",

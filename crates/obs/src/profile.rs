@@ -45,21 +45,31 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<SpanEvent>, String> {
             .get("ev")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("line {}: missing \"ev\" field", i + 1))?;
+        let at = format!("line {}", i + 1);
         let begin = match ev {
             "span_begin" => true,
             "span_end" => false,
-            "log" | "counter" | "request" => continue,
-            other => return Err(format!("line {}: unknown event kind `{other}`", i + 1)),
+            // Non-span kinds are skipped, but a malformed line must still
+            // be a line-numbered error, not a silent pass: every kind
+            // carries a timestamp, and mem events carry an id and a size.
+            "log" | "counter" | "request" | "mem_alloc" | "mem_free" => {
+                req_u64(&v, "ts_us", &at)?;
+                if ev.starts_with("mem_") {
+                    req_u64(&v, "id", &at)?;
+                    req_u64(&v, "bytes", &at)?;
+                }
+                continue;
+            }
+            other => return Err(format!("{at}: unknown event kind `{other}`")),
         };
         events.push(SpanEvent {
             name: v
                 .get("name")
                 .and_then(Value::as_str)
-                .ok_or_else(|| format!("line {}: span without \"name\"", i + 1))?
+                .ok_or_else(|| format!("{at}: span without \"name\""))?
                 .to_string(),
-            tid: field_u64(&v, "tid").ok_or_else(|| format!("line {}: missing \"tid\"", i + 1))?,
-            ts_us: field_u64(&v, "ts_us")
-                .ok_or_else(|| format!("line {}: missing \"ts_us\"", i + 1))?,
+            tid: req_u64(&v, "tid", &at)?,
+            ts_us: req_u64(&v, "ts_us", &at)?,
             begin,
         });
     }
@@ -84,20 +94,21 @@ pub fn parse_chrome(text: &str) -> Result<Vec<SpanEvent>, String> {
             .get("ph")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("event {i}: missing \"ph\" field"))?;
+        let at = format!("event {i}");
         let begin = match ph {
             "B" => true,
             "E" => false,
-            "M" | "i" | "C" | "X" => continue,
-            other => return Err(format!("event {i}: unknown phase `{other}`")),
+            "M" | "i" | "C" | "X" | "N" | "D" => continue,
+            other => return Err(format!("{at}: unknown phase `{other}`")),
         };
         events.push(SpanEvent {
             name: item
                 .get("name")
                 .and_then(Value::as_str)
-                .ok_or_else(|| format!("event {i}: span without \"name\""))?
+                .ok_or_else(|| format!("{at}: span without \"name\""))?
                 .to_string(),
-            tid: field_u64(item, "tid").ok_or_else(|| format!("event {i}: missing \"tid\""))?,
-            ts_us: field_u64(item, "ts").ok_or_else(|| format!("event {i}: missing \"ts\""))?,
+            tid: req_u64(item, "tid", &at)?,
+            ts_us: req_u64(item, "ts", &at)?,
             begin,
         });
     }
@@ -123,6 +134,18 @@ fn field_u64(v: &Value, key: &str) -> Option<u64> {
         Some(f as u64)
     } else {
         None
+    }
+}
+
+/// Required non-negative integer field with a diagnostic that names the
+/// location and distinguishes a missing key from an invalid value.
+pub(crate) fn req_u64(v: &Value, key: &str, at: &str) -> Result<u64, String> {
+    match v.get(key) {
+        None => Err(format!("{at}: missing \"{key}\"")),
+        Some(val) => match val.as_f64() {
+            Some(f) if f >= 0.0 && f.is_finite() => Ok(f as u64),
+            _ => Err(format!("{at}: \"{key}\" must be a non-negative number")),
+        },
     }
 }
 
@@ -354,9 +377,8 @@ pub fn parse_requests_jsonl(text: &str) -> Result<Vec<RequestEvent>, String> {
         if v.get("ev").and_then(Value::as_str) != Some("request") {
             continue;
         }
-        let field = |key: &str| {
-            field_u64(&v, key).ok_or_else(|| format!("line {}: missing \"{key}\"", i + 1))
-        };
+        let at = format!("line {}", i + 1);
+        let field = |key: &str| req_u64(&v, key, &at);
         events.push(RequestEvent {
             req: field("req")?,
             user: field("user")?,
@@ -401,13 +423,14 @@ pub fn parse_requests_chrome(text: &str) -> Result<Vec<RequestEvent>, String> {
         })?;
         let args =
             item.get("args").ok_or_else(|| format!("event {i}: serve X event without args"))?;
+        let at = format!("event {i}");
         events.push(RequestEvent {
-            req: field_u64(args, "req").ok_or_else(|| format!("event {i}: missing args.req"))?,
-            user: field_u64(args, "user").ok_or_else(|| format!("event {i}: missing args.user"))?,
+            req: field_u64(args, "req").ok_or_else(|| format!("{at}: missing args.req"))?,
+            user: field_u64(args, "user").ok_or_else(|| format!("{at}: missing args.user"))?,
             stage: stage.to_string(),
-            tid: field_u64(item, "tid").ok_or_else(|| format!("event {i}: missing \"tid\""))?,
-            ts_us: field_u64(item, "ts").ok_or_else(|| format!("event {i}: missing \"ts\""))?,
-            dur_us: field_u64(item, "dur").ok_or_else(|| format!("event {i}: missing \"dur\""))?,
+            tid: req_u64(item, "tid", &at)?,
+            ts_us: req_u64(item, "ts", &at)?,
+            dur_us: req_u64(item, "dur", &at)?,
         });
     }
     Ok(events)
@@ -628,6 +651,42 @@ mod tests {
         ];
         let p = Profile::build(&events).unwrap();
         assert_eq!(p.total_us(), 12);
+    }
+
+    #[test]
+    fn mem_lines_are_skipped_by_the_span_parser_but_still_validated() {
+        let ok = "{\"ev\":\"mem_alloc\",\"id\":1,\"bytes\":64,\"live_bytes\":64,\
+                  \"tid\":1,\"ts_us\":5,\"path\":\"a;b\"}\n\
+                  {\"ev\":\"mem_free\",\"id\":1,\"bytes\":64,\"live_bytes\":0,\
+                  \"tid\":1,\"ts_us\":9}\n";
+        assert!(parse_jsonl(ok).unwrap().is_empty());
+        let bad = "{\"ev\":\"mem_alloc\",\"bytes\":64,\"ts_us\":5}\n";
+        let err = parse_jsonl(bad).unwrap_err();
+        assert!(err.contains("line 1") && err.contains("\"id\""), "{err}");
+    }
+
+    #[test]
+    fn malformed_skipped_lines_are_line_numbered_errors() {
+        let text = "{\"ev\":\"span_begin\",\"name\":\"a\",\"tid\":1,\"ts_us\":0,\"depth\":0}\n\
+                    {\"ev\":\"counter\",\"name\":\"x\",\"value\":1}\n";
+        let err = parse_jsonl(text).unwrap_err();
+        assert!(err.contains("line 2") && err.contains("ts_us"), "{err}");
+        let neg = "{\"ev\":\"span_begin\",\"name\":\"a\",\"tid\":-1,\"ts_us\":0,\"depth\":0}\n";
+        let err = parse_jsonl(neg).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn chrome_parse_skips_mem_object_events() {
+        let text = r#"[
+{"name":"buf","cat":"mem","ph":"N","id":"0x1","ts":1,"pid":1,"tid":1,"args":{"bytes":64,"path":"a"}},
+{"name":"epoch","cat":"seqrec","ph":"B","ts":0,"pid":1,"tid":1},
+{"name":"buf","cat":"mem","ph":"D","id":"0x1","ts":9,"pid":1,"tid":1,"args":{"bytes":64}},
+{"name":"epoch","cat":"seqrec","ph":"E","ts":30,"pid":1,"tid":1}
+]"#;
+        let events = parse_chrome(text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(Profile::build(&events).unwrap().total_us(), 30);
     }
 
     #[test]

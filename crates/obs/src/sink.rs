@@ -82,6 +82,39 @@ pub enum Event<'a> {
         /// Stage duration in microseconds.
         dur_us: u64,
     },
+    /// A tensor buffer came to life (`N` object event in Chrome trace
+    /// terms, paired with a `C` counter sample of `tensor.live_bytes`).
+    MemAlloc {
+        /// Monotonic buffer id; the matching [`Event::MemFree`] carries
+        /// the same id.
+        id: u64,
+        /// Buffer size in bytes.
+        bytes: u64,
+        /// `tensor.live_bytes` level just after the allocation (signed:
+        /// metric resets mid-run can drive it below zero).
+        live_bytes: i64,
+        /// Allocating thread.
+        tid: u32,
+        /// Microseconds since the trace epoch.
+        ts_us: u64,
+        /// The allocating thread's open-span path (`;`-joined, outermost
+        /// first; empty outside all spans).
+        path: &'a str,
+    },
+    /// A tensor buffer was dropped (`D` object event in Chrome trace
+    /// terms).
+    MemFree {
+        /// Buffer id assigned by the matching [`Event::MemAlloc`].
+        id: u64,
+        /// Buffer size in bytes.
+        bytes: u64,
+        /// `tensor.live_bytes` level just after the free.
+        live_bytes: i64,
+        /// Freeing thread.
+        tid: u32,
+        /// Microseconds since the trace epoch.
+        ts_us: u64,
+    },
 }
 
 /// A destination for telemetry events. Implementations must be
@@ -298,6 +331,8 @@ fn level_name(level: u8) -> &'static str {
 /// {"ev":"log","level":"info","msg":"...","tid":1,"ts_us":95}
 /// {"ev":"counter","name":"gemm.flops","value":123,"ts_us":99}
 /// {"ev":"request","req":7,"user":42,"stage":"encode","tid":2,"ts_us":120,"dur_us":33}
+/// {"ev":"mem_alloc","id":9,"bytes":4096,"live_bytes":8192,"tid":1,"ts_us":130,"path":"epoch;batch"}
+/// {"ev":"mem_free","id":9,"bytes":4096,"live_bytes":4096,"tid":1,"ts_us":140}
 /// ```
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
@@ -354,6 +389,20 @@ impl Sink for JsonlSink {
                 s.push_str(&format!("{req},\"user\":{user},\"stage\":"));
                 json::write_str(&mut s, stage);
                 s.push_str(&format!(",\"tid\":{tid},\"ts_us\":{ts_us},\"dur_us\":{dur_us}}}"));
+            }
+            Event::MemAlloc { id, bytes, live_bytes, tid, ts_us, path } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"mem_alloc\",\"id\":{id},\"bytes\":{bytes},\
+                     \"live_bytes\":{live_bytes},\"tid\":{tid},\"ts_us\":{ts_us},\"path\":"
+                ));
+                json::write_str(&mut s, path);
+                s.push('}');
+            }
+            Event::MemFree { id, bytes, live_bytes, tid, ts_us } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"mem_free\",\"id\":{id},\"bytes\":{bytes},\
+                     \"live_bytes\":{live_bytes},\"tid\":{tid},\"ts_us\":{ts_us}}}"
+                ));
             }
         }
         self.write_line(&s);
@@ -491,7 +540,9 @@ impl Sink for ChromeTraceSink {
             Event::SpanBegin { tid, .. }
             | Event::SpanEnd { tid, .. }
             | Event::Log { tid, .. }
-            | Event::Request { tid, .. } => *tid,
+            | Event::Request { tid, .. }
+            | Event::MemAlloc { tid, .. }
+            | Event::MemFree { tid, .. } => *tid,
             Event::Counter { .. } => 0,
         };
         self.ensure_thread_named(ev_tid);
@@ -535,6 +586,33 @@ impl Sink for ChromeTraceSink {
                     ",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":{ts_us},\"dur\":{dur_us},\
                      \"pid\":1,\"tid\":{tid},\"args\":{{\"req\":{req},\"user\":{user}}}}}"
                 ));
+            }
+            Event::MemAlloc { id, bytes, live_bytes, tid, ts_us, path } => {
+                // `N` object-created event with the payload in args, plus a
+                // `C` counter sample so viewers plot the live-bytes curve.
+                s.push_str(&format!(
+                    "{{\"name\":\"buf\",\"cat\":\"mem\",\"ph\":\"N\",\"id\":\"0x{id:x}\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"bytes\":{bytes},\"path\":"
+                ));
+                json::write_str(&mut s, path);
+                s.push_str("}}");
+                self.write_obj(&s);
+                s = format!(
+                    "{{\"name\":\"tensor.live_bytes\",\"cat\":\"mem\",\"ph\":\"C\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{live_bytes}}}}}"
+                );
+            }
+            Event::MemFree { id, bytes, live_bytes, ts_us, tid } => {
+                s.push_str(&format!(
+                    "{{\"name\":\"buf\",\"cat\":\"mem\",\"ph\":\"D\",\"id\":\"0x{id:x}\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":{tid},\"args\":{{\"bytes\":{bytes}}}}}"
+                ));
+                self.write_obj(&s);
+                s = format!(
+                    "{{\"name\":\"tensor.live_bytes\",\"cat\":\"mem\",\"ph\":\"C\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{live_bytes}}}}}"
+                );
             }
         }
         self.write_obj(&s);

@@ -10,16 +10,27 @@
 //! and a branch: no clock read, no thread-local touch, no allocation.
 
 use crate::sink::{self, Event};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 thread_local! {
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Names of the live spans on this thread, outermost first. Only
+    /// maintained for live spans, so the no-sink fast path still touches
+    /// nothing. Read by the mem tracer to attribute buffer allocations.
+    static NAMES: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
 /// The calling thread's current span nesting depth (0 = outside all
 /// spans). Only maintained while a sink is installed.
 pub fn current_depth() -> u32 {
     DEPTH.with(Cell::get)
+}
+
+/// The calling thread's open-span path, outermost first, joined with `;`
+/// (e.g. `"epoch;batch;forward"`). Empty outside all spans or when no
+/// sink is installed — the stack is only maintained for live spans.
+pub fn current_path() -> String {
+    NAMES.with(|names| names.borrow().join(";"))
 }
 
 /// An open span; closes (and emits its end event) on drop.
@@ -59,6 +70,7 @@ impl SpanGuard {
             d.set(v + 1);
             v
         });
+        NAMES.with(|names| names.borrow_mut().push(name));
         let start_us = sink::now_us();
         sink::dispatch(&Event::SpanBegin { name, tid: sink::tid(), ts_us: start_us, depth });
         SpanGuard { name, start_us, depth, live: true }
@@ -71,6 +83,9 @@ impl Drop for SpanGuard {
             return;
         }
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        NAMES.with(|names| {
+            names.borrow_mut().pop();
+        });
         let ts_us = sink::now_us();
         sink::dispatch(&Event::SpanEnd {
             name: self.name,
@@ -113,7 +128,9 @@ mod tests {
             let _a = SpanGuard::enter("a");
             let _b = SpanGuard::enter("b");
             assert_eq!(current_depth(), 0, "disabled spans must not track depth");
+            assert_eq!(current_path(), "", "disabled spans must not track names");
         }
         assert_eq!(current_depth(), 0);
+        assert_eq!(current_path(), "");
     }
 }

@@ -61,7 +61,7 @@ fn jsonl_lines_parse_and_spans_pair_up() {
                 saw_log = true;
                 assert_eq!(v.get("msg").and_then(Value::as_str), Some("hello from the test"));
             }
-            Some("counter") | None => {}
+            Some("counter") | Some("mem_alloc") | Some("mem_free") | None => {}
             Some(other) => panic!("unknown event kind {other}"),
         }
     }
@@ -365,6 +365,127 @@ fn request_events_render_as_chrome_complete_slices() {
     assert_eq!(back[0].req, 11);
     // And the span parser sees a well-formed trace with no spans in it.
     assert!(seqrec_obs::profile::parse_chrome(&text).expect("span parse").is_empty());
+}
+
+/// Mem events on the JSONL sink carry the documented shape — numeric id,
+/// bytes, live-bytes level, timestamp, and the owning span path on the
+/// alloc — and round-trip through `memprof::parse_mem_jsonl` into a
+/// profile, while the span parser skips them.
+#[test]
+fn mem_events_have_the_documented_jsonl_shape_and_round_trip() {
+    let _g = lock();
+    let text = capture_jsonl(|| {
+        seqrec_obs::mem::set_sink_mode(Some(1));
+        let _epoch = seqrec_obs::span!("epoch");
+        let a = seqrec_obs::mem::on_alloc(4096);
+        let b = seqrec_obs::mem::on_alloc(1024);
+        seqrec_obs::mem::on_free(a, 4096);
+        seqrec_obs::mem::on_free(b, 1024);
+        seqrec_obs::mem::set_sink_mode(None);
+    });
+
+    let mut allocs = Vec::new();
+    let mut frees = Vec::new();
+    for line in text.lines() {
+        let v = json::parse(line).expect("valid JSONL");
+        match v.get("ev").and_then(Value::as_str) {
+            Some("mem_alloc") => {
+                assert_eq!(v.get("path").and_then(Value::as_str), Some("epoch"));
+                assert!(v.get("live_bytes").and_then(Value::as_f64).is_some());
+                allocs.push((
+                    v.get("id").and_then(Value::as_f64).expect("id"),
+                    v.get("bytes").and_then(Value::as_f64).expect("bytes"),
+                ));
+            }
+            Some("mem_free") => {
+                frees.push((
+                    v.get("id").and_then(Value::as_f64).expect("id"),
+                    v.get("bytes").and_then(Value::as_f64).expect("bytes"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(allocs.len(), 2, "expected 2 allocs in {text}");
+    assert_eq!(frees.len(), 2, "expected 2 frees in {text}");
+    // Every free pairs with an alloc of the same id and size.
+    for f in &frees {
+        assert!(allocs.contains(f), "unpaired free {f:?} in {text}");
+    }
+
+    let events = seqrec_obs::memprof::parse_mem_jsonl(&text).expect("mem parse");
+    assert_eq!(events.len(), 4);
+    let profile = seqrec_obs::memprof::MemProfile::build(&events).expect("profile builds");
+    assert_eq!(profile.allocs, 2);
+    assert_eq!(profile.frees, 2);
+    assert_eq!(profile.observed_peak_bytes, 4096 + 1024);
+    assert_eq!(profile.live_at_end, 0);
+    // Attribution sums to the observed peak exactly, and both buffers were
+    // inside the `epoch` span when allocated.
+    let attributed: u64 = profile.peak_by_path.iter().map(|s| s.bytes).sum();
+    assert_eq!(attributed, profile.observed_peak_bytes);
+    assert_eq!(profile.peak_by_path[0].key, "epoch");
+    // The span parser sees the same trace and folds only the span events.
+    let spans = seqrec_obs::profile::parse_jsonl(&text).expect("span parse");
+    assert_eq!(spans.len(), 2, "span begin+end, mem lines skipped");
+}
+
+/// On the Chrome sink an allocation is an object-created (`N`) event and
+/// its free an object-destroyed (`D`) event in the `mem` category with a
+/// hex id, each followed by a `tensor.live_bytes` counter sample — and the
+/// pair round-trips through `memprof::parse_mem_chrome`.
+#[test]
+fn mem_events_render_as_chrome_object_events() {
+    let _g = lock();
+    let text = capture_chrome(|| {
+        seqrec_obs::mem::set_sink_mode(Some(1));
+        let _fwd = seqrec_obs::span!("forward");
+        let id = seqrec_obs::mem::on_alloc(2048);
+        seqrec_obs::mem::on_free(id, 2048);
+        seqrec_obs::mem::set_sink_mode(None);
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("chrome trace not JSON: {e}\n{text}"));
+    let events = doc.as_arr().expect("top-level array");
+
+    let phase = |ph: &str| -> Vec<&Value> {
+        events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph)).collect()
+    };
+    let created = phase("N");
+    let destroyed = phase("D");
+    assert_eq!(created.len(), 1, "one N event in {text}");
+    assert_eq!(destroyed.len(), 1, "one D event in {text}");
+    for ev in created.iter().chain(&destroyed) {
+        assert_eq!(ev.get("cat").and_then(Value::as_str), Some("mem"));
+        assert_eq!(ev.get("name").and_then(Value::as_str), Some("buf"));
+        let id = ev.get("id").and_then(Value::as_str).expect("object id");
+        assert!(id.starts_with("0x"), "object id {id} not hex");
+        let bytes = ev.get("args").and_then(|a| a.get("bytes")).and_then(Value::as_f64);
+        assert_eq!(bytes, Some(2048.0));
+    }
+    assert_eq!(
+        created[0].get("args").and_then(|a| a.get("path")).and_then(Value::as_str),
+        Some("forward")
+    );
+    // Each object event is chased by a live-bytes counter sample.
+    let counters = phase("C");
+    assert!(
+        counters
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("tensor.live_bytes"))
+            .count()
+            >= 2,
+        "missing live-bytes counter samples in {text}"
+    );
+
+    let back = seqrec_obs::memprof::parse_mem_chrome(&text).expect("mem parse");
+    assert_eq!(back.len(), 2);
+    assert!(back[0].alloc && !back[1].alloc);
+    assert_eq!(back[0].id, back[1].id);
+    assert_eq!(back[0].bytes, 2048);
+    assert_eq!(back[0].path.as_deref(), Some("forward"));
+    // The span parser tolerates the full mixed trace.
+    let spans = seqrec_obs::profile::parse_chrome(&text).expect("span parse");
+    assert_eq!(spans.len(), 2);
 }
 
 /// The per-thread sink cache in `sink::dispatch` invalidates on

@@ -18,13 +18,23 @@ use crate::shape::Shape;
 /// [`seqrec_obs::metrics::TENSOR_LIVE_BYTES`] gauge (level + high-water
 /// mark) in sync with the bytes actually allocated. `Arc` sharing — tensor
 /// clones, reshapes — allocates nothing and is therefore not counted; only
-/// real buffers are.
-pub(crate) struct Buf(Vec<f32>);
+/// real buffers are. Construction and drop additionally report to the
+/// `seqrec_obs::mem` lifetime tracer (`SEQREC_OBS=mem=...` or the
+/// in-process interval recorder), which attributes every buffer to the
+/// span path that allocated it.
+pub(crate) struct Buf {
+    data: Vec<f32>,
+    /// Lifetime-tracing id handed out by `seqrec_obs::mem` (0 when
+    /// tracing was off at allocation time; its free is then a no-op).
+    trace_id: u64,
+}
 
 impl Buf {
     fn new(data: Vec<f32>) -> Self {
-        seqrec_obs::metrics::TENSOR_LIVE_BYTES.add((data.capacity() * 4) as i64);
-        Buf(data)
+        let bytes = data.capacity() * 4;
+        seqrec_obs::metrics::TENSOR_LIVE_BYTES.add(bytes as i64);
+        let trace_id = seqrec_obs::mem::on_alloc(bytes);
+        Buf { data, trace_id }
     }
 }
 
@@ -32,32 +42,34 @@ impl Clone for Buf {
     fn clone(&self) -> Self {
         // Reached via `Arc::make_mut` on shared storage: a genuine new
         // allocation (the copy-on-write copy), so it is counted.
-        Buf::new(self.0.clone())
+        Buf::new(self.data.clone())
     }
 }
 
 impl Drop for Buf {
     fn drop(&mut self) {
-        seqrec_obs::metrics::TENSOR_LIVE_BYTES.add(-((self.0.capacity() * 4) as i64));
+        let bytes = self.data.capacity() * 4;
+        seqrec_obs::metrics::TENSOR_LIVE_BYTES.add(-(bytes as i64));
+        seqrec_obs::mem::on_free(self.trace_id, bytes);
     }
 }
 
 impl Deref for Buf {
     type Target = Vec<f32>;
     fn deref(&self) -> &Vec<f32> {
-        &self.0
+        &self.data
     }
 }
 
 impl DerefMut for Buf {
     fn deref_mut(&mut self) -> &mut Vec<f32> {
-        &mut self.0
+        &mut self.data
     }
 }
 
 impl PartialEq for Buf {
     fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0
+        self.data == other.data
     }
 }
 

@@ -3,8 +3,11 @@
 # serving-latency benchmarks and diffs the fresh numbers against the
 # committed baselines (BENCH_train.json, BENCH_serve.json) with per-metric
 # relative tolerances (see crates/obs/src/benchdiff.rs; the serve metrics
-# use their own spec set via `bench_diff --specs serve`). Exits non-zero
-# when any gated metric regresses beyond tolerance — wire it into CI after
+# use their own spec set via `bench_diff --specs serve`). The train specs
+# pin the memory columns too: `peak_mib` and the perfect-reuse floor
+# `whatif_peak_mib` each gate at 10% growth, so an allocator or lifetime
+# regression fails even when wall time is unaffected. Exits non-zero when
+# any gated metric regresses beyond tolerance — wire it into CI after
 # scripts/test.sh.
 #
 # Usage: scripts/bench_gate.sh [--smoke] [--baseline PATH]

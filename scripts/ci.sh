@@ -25,10 +25,10 @@ SEQREC_THREADS=2 bash scripts/test.sh
 
 SMOKE_RUNS="target/ci_smoke_runs"
 for SMOKE_THREADS in 1 2; do
-echo "== instrumented smoke train at SEQREC_THREADS=$SMOKE_THREADS (JSONL sink + run ledger)"
+echo "== instrumented smoke train at SEQREC_THREADS=$SMOKE_THREADS (JSONL sink + mem trace + run ledger)"
 SMOKE_JSONL="target/ci_smoke_obs_t${SMOKE_THREADS}.jsonl"
 rm -rf "$SMOKE_JSONL" "$SMOKE_RUNS"
-SEQREC_THREADS="$SMOKE_THREADS" SEQREC_OBS="console=silent,jsonl=$SMOKE_JSONL" \
+SEQREC_THREADS="$SMOKE_THREADS" SEQREC_OBS="console=silent,jsonl=$SMOKE_JSONL,mem=all" \
     cargo run --offline --release -p seqrec-experiments --bin bench_train -- \
     --scale 0.005 --epochs 2 --pretrain-epochs 1 --datasets beauty \
     --runs-dir "$SMOKE_RUNS" >/dev/null
@@ -37,9 +37,12 @@ import json
 import sys
 
 # Every line must parse, every span_begin must meet a matching span_end at
-# the same name+depth, and durations must be non-negative.
+# the same name+depth, durations must be non-negative, and every mem_free
+# must pair with a mem_alloc of the same id and size (mem=all: the full
+# unsampled allocation stream).
 open_spans = {}
-events = 0
+live_bufs = {}
+events = mem_allocs = mem_frees = 0
 with open(sys.argv[1]) as f:
     for n, line in enumerate(f, 1):
         ev = json.loads(line)  # raises on malformed JSONL
@@ -53,11 +56,34 @@ with open(sys.argv[1]) as f:
             assert open_spans.get(key, 0) > 0, f"line {n}: end without begin: {key}"
             open_spans[key] -= 1
             assert ev["dur_us"] >= 0, f"line {n}: negative duration"
+        elif kind == "mem_alloc":
+            assert ev["id"] not in live_bufs, f"line {n}: duplicate alloc id {ev['id']}"
+            assert "path" in ev, f"line {n}: mem_alloc without span path"
+            live_bufs[ev["id"]] = ev["bytes"]
+            mem_allocs += 1
+        elif kind == "mem_free":
+            got = live_bufs.pop(ev["id"], None)
+            assert got == ev["bytes"], (
+                f"line {n}: free of id {ev['id']} with {ev['bytes']}B, allocated with {got}"
+            )
+            mem_frees += 1
 unclosed = {k: c for k, c in open_spans.items() if c}
 assert not unclosed, f"unclosed spans: {unclosed}"
 assert events > 100, f"suspiciously few telemetry events: {events}"
-print(f"smoke train OK: {events} well-formed JSONL events")
+assert mem_allocs > 100, f"suspiciously few mem events under mem=all: {mem_allocs}"
+# The leak sentinel's trace-level twin: every traced buffer freed by exit.
+assert not live_bufs, f"{len(live_bufs)} buffers never freed: {sorted(live_bufs)[:5]}..."
+print(
+    f"smoke train OK: {events} well-formed JSONL events, "
+    f"{mem_allocs} allocs / {mem_frees} frees, all paired"
+)
 PY
+
+echo "== seqrec-prof --mem on the smoke trace (peak attribution + what-if report)"
+PROF_OUT="$(cargo run --offline --release -p seqrec-obs --bin seqrec-prof -- "$SMOKE_JSONL" --mem --top 5)"
+echo "$PROF_OUT" | grep -q "bytes at peak by span path" || { echo "missing peak breakdown"; exit 1; }
+echo "$PROF_OUT" | grep -q "what-if arena" || { echo "missing what-if report"; exit 1; }
+echo "$PROF_OUT" | head -3
 done
 
 echo "== run-ledger validation"
@@ -90,8 +116,17 @@ with open(os.path.join(root, "report.json")) as f:
     report = json.load(f)
 assert report["rows"], "report.json has no benchmark rows"
 assert report.get("threads") == 2, f"report.json threads: {report.get('threads')!r}"
-for key in ("secs_per_epoch", "seqs_per_sec", "gemm_gflops_per_sec", "peak_tensor_mib"):
+for key in ("secs_per_epoch", "seqs_per_sec", "gemm_gflops_per_sec", "peak_mib"):
     assert key in report["rows"][0], f"report row missing {key!r}"
+# Memory columns: the what-if floor never exceeds the observed peak (both
+# come from the same recorder replay), and the leak sentinel stayed quiet.
+for r in report["rows"]:
+    m = r["method"]
+    assert r["peak_mib"] > 0, f"{m}: non-positive peak_mib"
+    assert 0 < r["whatif_peak_mib"] <= r["peak_mib"], (
+        f"{m}: whatif_peak_mib {r['whatif_peak_mib']} vs peak_mib {r['peak_mib']}"
+    )
+    assert r["leaked_mib"] < 0.0625, f"{m}: leak sentinel tripped ({r['leaked_mib']} MiB)"
 print(f"run ledger OK: {root} (config, env, report with {len(report['rows'])} rows)")
 PY
 
